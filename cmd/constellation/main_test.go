@@ -1,0 +1,79 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/tle"
+)
+
+func TestBuildNamed(t *testing.T) {
+	for _, name := range []string{"starlink", "kuiper", "telesat"} {
+		c, err := buildNamed(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if c.Size() == 0 {
+			t.Fatalf("%s: empty", name)
+		}
+	}
+	if _, err := buildNamed("atlantis"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestPrintInfo(t *testing.T) {
+	c, err := buildNamed("kuiper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := printInfo(&b, c); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Kuiper: 3236 satellites, 3 shells", "kuiper-630", "+grid ISLs: 6472 links"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("info output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExportTLERoundTrips(t *testing.T) {
+	c, err := buildNamed("telesat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := exportTLE(&b, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tle.DecodeAll(b.String(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != c.Size() {
+		t.Fatalf("exported %d TLEs for %d satellites", len(got), c.Size())
+	}
+}
+
+func TestPrintSnapshot(t *testing.T) {
+	c, err := buildNamed("kuiper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := printSnapshot(&b, c, 120); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != c.Size()+1 {
+		t.Fatalf("snapshot lines = %d, want %d", len(lines), c.Size()+1)
+	}
+	if lines[0] != "id,shell,plane,slot,lat,lon,alt_km" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "0,kuiper-") {
+		t.Fatalf("first row = %q", lines[1])
+	}
+}

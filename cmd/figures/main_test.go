@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The runner methods are the command's substance; exercise the fast paths
+// end to end (stdout is the program's interface, so we only assert on side
+// effects and error-freeness here — content is asserted in the experiments
+// package tests).
+
+func testRunner(t *testing.T) runner {
+	t.Helper()
+	return runner{out: t.TempDir(), fast: true}
+}
+
+func TestFeasibilityFigure(t *testing.T) {
+	if err := testRunner(t).feasibility(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEOFigure(t *testing.T) {
+	if err := testRunner(t).eo(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeatherFigure(t *testing.T) {
+	if err := testRunner(t).weather(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowerFigure(t *testing.T) {
+	if err := testRunner(t).power(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig1WritesCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds full constellations")
+	}
+	r := testRunner(t)
+	if err := r.fig1(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(r.out, "fig1_rtt_vs_latitude.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Starlink Phase I min RTT") {
+		t.Fatal("CSV missing series")
+	}
+}
+
+func TestFig4WritesCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds full constellations")
+	}
+	r := testRunner(t)
+	if err := r.fig4(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(r.out, "fig4_invisible_vs_cities.csv")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndentHelper(t *testing.T) {
+	got := indent("a\nb\n", "  ")
+	if got != "  a\n  b" {
+		t.Fatalf("indent = %q", got)
+	}
+}

@@ -1,0 +1,112 @@
+// Command latencymap renders a world map of in-orbit edge latency: for
+// each grid cell, the RTT to the nearest satellite-server and how many
+// servers are in view. Output is a CSV grid plus an ASCII heat map — the
+// "compute wherever you want" picture of §3.1 at a glance.
+//
+// Usage:
+//
+//	latencymap -name starlink -step 5 -out latency.csv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/constellation"
+	"repro/internal/geo"
+	"repro/internal/units"
+	"repro/internal/visibility"
+)
+
+func main() {
+	var (
+		name = flag.String("name", "starlink", "constellation: starlink, kuiper, telesat")
+		step = flag.Float64("step", 5, "grid step in degrees")
+		at   = flag.Float64("t", 0, "snapshot time (seconds after epoch)")
+		out  = flag.String("out", "", "optional CSV output path")
+	)
+	flag.Parse()
+
+	var (
+		c   *constellation.Constellation
+		err error
+	)
+	switch *name {
+	case "starlink":
+		c, err = constellation.StarlinkPhase1(constellation.Config{})
+	case "kuiper":
+		c, err = constellation.Kuiper(constellation.Config{})
+	case "telesat":
+		c, err = constellation.Telesat(constellation.Config{})
+	default:
+		err = fmt.Errorf("unknown constellation %q", *name)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *step <= 0 || *step > 30 {
+		fatal(fmt.Errorf("step %v out of (0,30]", *step))
+	}
+
+	obs := visibility.NewObserver(c)
+	snap := c.Snapshot(*at)
+
+	var csv *bufio.Writer
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		csv = bufio.NewWriter(f)
+		defer csv.Flush()
+		fmt.Fprintln(csv, "lat,lon,nearest_rtt_ms,reachable")
+	}
+
+	// ASCII heat map: one character per cell, latitude rows top-down.
+	glyph := func(rttMs float64, covered bool) byte {
+		switch {
+		case !covered:
+			return '.'
+		case rttMs < 5:
+			return '#'
+		case rttMs < 8:
+			return '+'
+		case rttMs < 12:
+			return '-'
+		default:
+			return ' '
+		}
+	}
+	fmt.Printf("%s at t=%.0fs — nearest-server RTT: '#'<5ms '+'<8ms '-'<12ms ' '>=12ms '.'=uncovered\n",
+		c.Name, *at)
+	covered, total := 0, 0
+	for lat := 90.0; lat >= -90; lat -= *step {
+		row := make([]byte, 0, int(360 / *step)+1)
+		for lon := -180.0; lon <= 180; lon += *step {
+			g := geo.LatLon{LatDeg: lat, LonDeg: lon}.ECEF()
+			_, slant, ok := obs.Nearest(g, snap)
+			rtt := 0.0
+			if ok {
+				rtt = units.RTTMs(slant)
+				covered++
+			}
+			total++
+			row = append(row, glyph(rtt, ok))
+			if csv != nil {
+				n := obs.CountReachable(g, snap)
+				fmt.Fprintf(csv, "%.1f,%.1f,%.3f,%d\n", lat, lon, rtt, n)
+			}
+		}
+		fmt.Printf("%6.1f |%s|\n", lat, row)
+	}
+	fmt.Printf("coverage: %.1f%% of grid cells see at least one satellite-server\n",
+		100*float64(covered)/float64(total))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "latencymap:", err)
+	os.Exit(1)
+}

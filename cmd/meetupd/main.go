@@ -1,0 +1,255 @@
+// Command meetupd is a real TCP "meetup server" demonstrating virtual
+// stationarity end to end: it hosts shared session state for multiple
+// clients and can live-migrate that state to a successor meetupd instance
+// over the migrate wire protocol — the software path a satellite-server
+// would run before its hand-off.
+//
+// Client protocol (one command per line):
+//
+//	JOIN <name>        register a participant
+//	SET <key> <value>  write shared state
+//	GET <key>          read shared state (reply: VALUE <v> | MISSING)
+//	SEQ                reply the state sequence number
+//	QUIT               close the connection
+//
+// Admin protocol on -admin (one command per line):
+//
+//	MIGRATE <host:port>  push state to the successor and drain
+//	STATUS               reply state size and sequence
+//
+// A second instance started with the same flags receives the state
+// automatically: migration connections are recognised by a handshake line.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strings"
+	"sync"
+
+	"repro/internal/migrate"
+)
+
+const migrationHandshake = "IOSM-MIGRATION/1"
+
+func main() {
+	var (
+		listen = flag.String("listen", "127.0.0.1:7070", "client listen address")
+		admin  = flag.String("admin", "127.0.0.1:7071", "admin listen address")
+		name   = flag.String("name", "sat-A", "server name (shown in replies)")
+	)
+	flag.Parse()
+
+	srv := newServer(*name)
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("meetupd: listen: %v", err)
+	}
+	aln, err := net.Listen("tcp", *admin)
+	if err != nil {
+		log.Fatalf("meetupd: admin listen: %v", err)
+	}
+	log.Printf("meetupd %s: clients on %s, admin on %s", *name, ln.Addr(), aln.Addr())
+
+	go srv.acceptLoop(ln, srv.handleClientOrMigration)
+	srv.acceptLoop(aln, srv.handleAdmin)
+}
+
+// session is the migratable application state: a shared key-value world
+// plus a sequence number, the "session-specific state" of §5.
+type session struct {
+	Seq    uint64            `json:"seq"`
+	Values map[string]string `json:"values"`
+	Users  []string          `json:"users"`
+}
+
+type server struct {
+	name string
+
+	mu      sync.Mutex
+	state   session
+	serving bool // false after migrating away
+}
+
+func newServer(name string) *server {
+	return &server{name: name, state: session{Values: map[string]string{}}, serving: true}
+}
+
+func (s *server) acceptLoop(ln net.Listener, handle func(net.Conn)) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Printf("meetupd: accept: %v", err)
+			return
+		}
+		go handle(conn)
+	}
+}
+
+// handleClientOrMigration peeks the first line: a migration handshake makes
+// this connection a state import; anything else is a client command stream.
+func (s *server) handleClientOrMigration(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	first, err := br.ReadString('\n')
+	if err != nil {
+		return
+	}
+	if strings.TrimSpace(first) == migrationHandshake {
+		s.importState(conn, br)
+		return
+	}
+	s.serveClient(conn, br, first)
+}
+
+func (s *server) importState(conn net.Conn, br *bufio.Reader) {
+	generic, sess, err := migrate.ReceiveState(br)
+	if err != nil {
+		log.Printf("meetupd %s: state import failed: %v", s.name, err)
+		return
+	}
+	var st session
+	if err := json.Unmarshal(sess, &st); err != nil {
+		log.Printf("meetupd %s: state decode failed: %v", s.name, err)
+		return
+	}
+	s.mu.Lock()
+	s.state = st
+	s.serving = true
+	s.mu.Unlock()
+	log.Printf("meetupd %s: imported state (seq=%d, %d keys, %d B generic)", s.name, st.Seq, len(st.Values), len(generic))
+	fmt.Fprintf(conn, "IMPORTED %d\n", st.Seq)
+}
+
+func (s *server) serveClient(conn net.Conn, br *bufio.Reader, first string) {
+	line := first
+	for {
+		reply, quit := s.execute(strings.TrimSpace(line))
+		if _, err := fmt.Fprintln(conn, reply); err != nil || quit {
+			return
+		}
+		var err error
+		line, err = br.ReadString('\n')
+		if err != nil {
+			return
+		}
+	}
+}
+
+func (s *server) execute(line string) (reply string, quit bool) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return "ERR empty command", false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.serving {
+		return "MOVED", true // the client must re-resolve the successor
+	}
+	switch strings.ToUpper(fields[0]) {
+	case "JOIN":
+		if len(fields) != 2 {
+			return "ERR usage: JOIN <name>", false
+		}
+		s.state.Users = append(s.state.Users, fields[1])
+		s.state.Seq++
+		return fmt.Sprintf("WELCOME %s@%s seq=%d", fields[1], s.name, s.state.Seq), false
+	case "SET":
+		if len(fields) < 3 {
+			return "ERR usage: SET <key> <value>", false
+		}
+		s.state.Values[fields[1]] = strings.Join(fields[2:], " ")
+		s.state.Seq++
+		return fmt.Sprintf("OK seq=%d", s.state.Seq), false
+	case "GET":
+		if len(fields) != 2 {
+			return "ERR usage: GET <key>", false
+		}
+		if v, ok := s.state.Values[fields[1]]; ok {
+			return "VALUE " + v, false
+		}
+		return "MISSING", false
+	case "SEQ":
+		return fmt.Sprintf("SEQ %d", s.state.Seq), false
+	case "QUIT":
+		return "BYE", true
+	}
+	return "ERR unknown command", false
+}
+
+func (s *server) handleAdmin(conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch strings.ToUpper(fields[0]) {
+		case "STATUS":
+			s.mu.Lock()
+			fmt.Fprintf(conn, "STATUS serving=%v seq=%d keys=%d users=%d\n",
+				s.serving, s.state.Seq, len(s.state.Values), len(s.state.Users))
+			s.mu.Unlock()
+		case "MIGRATE":
+			if len(fields) != 2 {
+				fmt.Fprintln(conn, "ERR usage: MIGRATE <host:port>")
+				continue
+			}
+			if err := s.migrateTo(fields[1]); err != nil {
+				fmt.Fprintf(conn, "ERR %v\n", err)
+				continue
+			}
+			fmt.Fprintln(conn, "MIGRATED")
+		default:
+			fmt.Fprintln(conn, "ERR unknown admin command")
+		}
+	}
+}
+
+// migrateTo pushes the session to the successor and stops serving — the
+// stop-and-copy cut-over of a live migration (the pre-copy rounds are
+// implicit here: session state is small, per §5's session/generic split).
+func (s *server) migrateTo(addr string) error {
+	s.mu.Lock()
+	if !s.serving {
+		s.mu.Unlock()
+		return fmt.Errorf("already migrated away")
+	}
+	payload, err := json.Marshal(s.state)
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	s.serving = false // cut-over: stop accepting writes
+	s.mu.Unlock()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		s.mu.Lock()
+		s.serving = true // roll back: successor unreachable
+		s.mu.Unlock()
+		return fmt.Errorf("dial successor: %w", err)
+	}
+	defer conn.Close()
+	if _, err := fmt.Fprintln(conn, migrationHandshake); err != nil {
+		return err
+	}
+	if err := migrate.SendState(conn, nil, payload); err != nil {
+		return err
+	}
+	ack, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		return fmt.Errorf("successor ack: %w", err)
+	}
+	log.Printf("meetupd %s: migrated to %s (%s)", s.name, addr, strings.TrimSpace(ack))
+	return nil
+}
+
+// Ensure log goes to stderr so stdout stays machine-readable if piped.
+func init() { log.SetOutput(os.Stderr) }

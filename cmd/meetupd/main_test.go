@@ -1,0 +1,180 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestExecuteCommands(t *testing.T) {
+	s := newServer("sat-T")
+	tests := []struct {
+		cmd        string
+		wantPrefix string
+		wantQuit   bool
+	}{
+		{"JOIN alice", "WELCOME alice@sat-T", false},
+		{"SET score 42", "OK seq=2", false},
+		{"GET score", "VALUE 42", false},
+		{"GET missing", "MISSING", false},
+		{"SET phrase hello world", "OK", false},
+		{"GET phrase", "VALUE hello world", false},
+		{"SEQ", "SEQ 3", false},
+		{"", "ERR", false},
+		{"FROB", "ERR unknown", false},
+		{"JOIN", "ERR usage", false},
+		{"SET only-key", "ERR usage", false},
+		{"GET a b", "ERR usage", false},
+		{"quit", "BYE", true},
+	}
+	for _, tc := range tests {
+		reply, quit := s.execute(tc.cmd)
+		if !strings.HasPrefix(reply, tc.wantPrefix) {
+			t.Errorf("execute(%q) = %q, want prefix %q", tc.cmd, reply, tc.wantPrefix)
+		}
+		if quit != tc.wantQuit {
+			t.Errorf("execute(%q) quit = %v", tc.cmd, quit)
+		}
+	}
+}
+
+func TestExecuteAfterMigration(t *testing.T) {
+	s := newServer("sat-T")
+	s.mu.Lock()
+	s.serving = false
+	s.mu.Unlock()
+	reply, quit := s.execute("SET k v")
+	if reply != "MOVED" || !quit {
+		t.Fatalf("drained server replied %q quit=%v, want MOVED/true", reply, quit)
+	}
+}
+
+// startServer spins up a full meetupd instance on ephemeral ports.
+func startServer(t *testing.T, name string) (s *server, clientAddr, adminAddr string) {
+	t.Helper()
+	s = newServer(name)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	aln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close(); aln.Close() })
+	go s.acceptLoop(ln, s.handleClientOrMigration)
+	go s.acceptLoop(aln, s.handleAdmin)
+	return s, ln.Addr().String(), aln.Addr().String()
+}
+
+func roundTrip(t *testing.T, conn net.Conn, br *bufio.Reader, cmd string) string {
+	t.Helper()
+	if _, err := fmt.Fprintln(conn, cmd); err != nil {
+		t.Fatal(err)
+	}
+	line, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strings.TrimSpace(line)
+}
+
+func TestFullMigrationInProcess(t *testing.T) {
+	_, aClient, aAdmin := startServer(t, "sat-A")
+	_, bClient, _ := startServer(t, "sat-B")
+
+	// Populate A over a real socket.
+	conn, err := net.DialTimeout("tcp", aClient, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	if got := roundTrip(t, conn, br, "JOIN p1"); !strings.HasPrefix(got, "WELCOME") {
+		t.Fatalf("JOIN: %q", got)
+	}
+	for i := 0; i < 25; i++ {
+		if got := roundTrip(t, conn, br, fmt.Sprintf("SET k%d v%d", i, i)); !strings.HasPrefix(got, "OK") {
+			t.Fatalf("SET: %q", got)
+		}
+	}
+	seqA := roundTrip(t, conn, br, "SEQ")
+
+	// Admin: status then migrate.
+	adm, err := net.DialTimeout("tcp", aAdmin, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer adm.Close()
+	abr := bufio.NewReader(adm)
+	if got := roundTrip(t, adm, abr, "STATUS"); !strings.Contains(got, "serving=true") {
+		t.Fatalf("STATUS: %q", got)
+	}
+	if got := roundTrip(t, adm, abr, "MIGRATE "+bClient); got != "MIGRATED" {
+		t.Fatalf("MIGRATE: %q", got)
+	}
+	// A refuses writes now.
+	if got := roundTrip(t, conn, br, "SET late v"); got != "MOVED" {
+		t.Fatalf("post-migration write: %q", got)
+	}
+
+	// B carries the state.
+	bc, err := net.DialTimeout("tcp", bClient, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bc.Close()
+	bbr := bufio.NewReader(bc)
+	if got := roundTrip(t, bc, bbr, "SEQ"); got != seqA {
+		t.Fatalf("SEQ after migration: %q, want %q", got, seqA)
+	}
+	if got := roundTrip(t, bc, bbr, "GET k7"); got != "VALUE v7" {
+		t.Fatalf("GET k7: %q", got)
+	}
+}
+
+func TestMigrateErrors(t *testing.T) {
+	s, _, aAdmin := startServer(t, "sat-A")
+	adm, err := net.DialTimeout("tcp", aAdmin, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer adm.Close()
+	abr := bufio.NewReader(adm)
+	// Unreachable successor: migration fails, server keeps serving.
+	if got := roundTrip(t, adm, abr, "MIGRATE 127.0.0.1:1"); !strings.HasPrefix(got, "ERR") {
+		t.Fatalf("migrate to dead port: %q", got)
+	}
+	s.mu.Lock()
+	serving := s.serving
+	s.mu.Unlock()
+	if !serving {
+		t.Fatal("server stopped serving after failed migration")
+	}
+	if got := roundTrip(t, adm, abr, "MIGRATE"); !strings.HasPrefix(got, "ERR usage") {
+		t.Fatalf("bad usage: %q", got)
+	}
+	if got := roundTrip(t, adm, abr, "NOPE"); !strings.HasPrefix(got, "ERR unknown") {
+		t.Fatalf("unknown admin: %q", got)
+	}
+}
+
+func TestDoubleMigrationRefused(t *testing.T) {
+	_, _, aAdmin := startServer(t, "sat-A")
+	_, bClient, _ := startServer(t, "sat-B")
+	adm, err := net.DialTimeout("tcp", aAdmin, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer adm.Close()
+	abr := bufio.NewReader(adm)
+	if got := roundTrip(t, adm, abr, "MIGRATE "+bClient); got != "MIGRATED" {
+		t.Fatalf("first migration: %q", got)
+	}
+	if got := roundTrip(t, adm, abr, "MIGRATE "+bClient); !strings.HasPrefix(got, "ERR") {
+		t.Fatalf("second migration should fail: %q", got)
+	}
+}

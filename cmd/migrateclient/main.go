@@ -1,0 +1,107 @@
+// Command migrateclient drives a meetupd pair through a live migration and
+// verifies no state is lost: it writes session state to server A, orders A
+// to migrate to server B, then reads the state back from B.
+//
+// Usage (with two meetupd instances already running):
+//
+//	meetupd -name sat-A -listen :7070 -admin :7071 &
+//	meetupd -name sat-B -listen :7080 -admin :7081 &
+//	migrateclient -a 127.0.0.1:7070 -a-admin 127.0.0.1:7071 -b 127.0.0.1:7080
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"strings"
+	"time"
+)
+
+func main() {
+	var (
+		a      = flag.String("a", "127.0.0.1:7070", "server A client address")
+		aAdmin = flag.String("a-admin", "127.0.0.1:7071", "server A admin address")
+		b      = flag.String("b", "127.0.0.1:7080", "server B client address")
+		keys   = flag.Int("keys", 100, "how many keys to write before migrating")
+	)
+	flag.Parse()
+
+	// Phase 1: populate server A.
+	ca := dial(*a)
+	defer ca.Close()
+	expect(ca, "JOIN alice", "WELCOME")
+	for i := 0; i < *keys; i++ {
+		expect(ca, fmt.Sprintf("SET key%04d value-%d", i, i*i), "OK")
+	}
+	seqA := query(ca, "SEQ")
+	log.Printf("populated A: %s", seqA)
+
+	// Phase 2: order the migration.
+	start := time.Now()
+	adm := dial(*aAdmin)
+	defer adm.Close()
+	reply := query(adm, "MIGRATE "+*b)
+	if reply != "MIGRATED" {
+		log.Fatalf("migration failed: %s", reply)
+	}
+	log.Printf("migration completed in %v", time.Since(start))
+
+	// Phase 3: verify on server B.
+	cb := dial(*b)
+	defer cb.Close()
+	seqB := query(cb, "SEQ")
+	if seqA != seqB {
+		log.Fatalf("sequence mismatch after migration: A=%s B=%s", seqA, seqB)
+	}
+	for i := 0; i < *keys; i += 13 {
+		got := query(cb, fmt.Sprintf("GET key%04d", i))
+		want := fmt.Sprintf("VALUE value-%d", i*i)
+		if got != want {
+			log.Fatalf("key%04d: got %q, want %q", i, got, want)
+		}
+	}
+	// Server A must refuse further writes.
+	if got := query(ca, "SET late value"); got != "MOVED" {
+		log.Fatalf("server A still serving after migration: %q", got)
+	}
+	fmt.Printf("migration verified: %d keys intact, %s carried to successor\n", *keys, seqB)
+}
+
+// client couples a connection with buffered IO so replies can be matched
+// to commands.
+type client struct {
+	conn net.Conn
+	*bufio.ReadWriter
+}
+
+func (c *client) Close() error { return c.conn.Close() }
+
+func dial(addr string) *client {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		log.Fatalf("dial %s: %v", addr, err)
+	}
+	return &client{conn: conn, ReadWriter: bufio.NewReadWriter(bufio.NewReader(conn), bufio.NewWriter(conn))}
+}
+
+func query(rw *client, cmd string) string {
+	if _, err := rw.WriteString(cmd + "\n"); err != nil {
+		log.Fatalf("write %q: %v", cmd, err)
+	}
+	if err := rw.Flush(); err != nil {
+		log.Fatalf("flush: %v", err)
+	}
+	line, err := rw.ReadString('\n')
+	if err != nil {
+		log.Fatalf("read reply to %q: %v", cmd, err)
+	}
+	return strings.TrimSpace(line)
+}
+
+func expect(rw *client, cmd, prefix string) {
+	if got := query(rw, cmd); !strings.HasPrefix(got, prefix) {
+		log.Fatalf("%q: got %q, want prefix %q", cmd, got, prefix)
+	}
+}

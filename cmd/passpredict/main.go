@@ -1,0 +1,114 @@
+// Command passpredict predicts satellite passes over a ground site: AOS,
+// culmination, LOS, duration, and peak Doppler — the classic satellite-ops
+// view, over any of the preset constellations or a single satellite.
+//
+// Usage:
+//
+//	passpredict -lat 47.38 -lon 8.54 -name starlink -sat 0 -hours 3
+//	passpredict -lat 9.06 -lon 7.49 -name kuiper -next
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/constellation"
+	"repro/internal/geo"
+	"repro/internal/plot"
+	"repro/internal/visibility"
+)
+
+func main() {
+	var (
+		lat   = flag.Float64("lat", 47.38, "site latitude (degrees north)")
+		lon   = flag.Float64("lon", 8.54, "site longitude (degrees east)")
+		name  = flag.String("name", "starlink", "constellation: starlink, kuiper, telesat")
+		sat   = flag.Int("sat", 0, "satellite ID to predict passes for")
+		hours = flag.Float64("hours", 3, "prediction horizon")
+		next  = flag.Bool("next", false, "just report the next pass of any satellite")
+	)
+	flag.Parse()
+
+	site := geo.LatLon{LatDeg: *lat, LonDeg: *lon}
+	if !site.Valid() {
+		fatal(fmt.Errorf("invalid site %v", site))
+	}
+	var (
+		c   *constellation.Constellation
+		err error
+	)
+	switch *name {
+	case "starlink":
+		c, err = constellation.StarlinkPhase1(constellation.Config{})
+	case "kuiper":
+		c, err = constellation.Kuiper(constellation.Config{})
+	case "telesat":
+		c, err = constellation.Telesat(constellation.Config{})
+	default:
+		err = fmt.Errorf("unknown constellation %q", *name)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	obs := visibility.NewObserver(c)
+	ground := site.ECEF()
+	horizon := *hours * 3600
+
+	if *next {
+		w, ok, err := obs.NextPassAny(ground, 0, horizon, 10)
+		if err != nil {
+			fatal(err)
+		}
+		if !ok {
+			fmt.Printf("no pass over %v within %.1f h\n", site, *hours)
+			return
+		}
+		fmt.Printf("next pass over %v: %s (sat %d)\n", site, c.Satellites[w.SatID].Name(c.Shells), w.SatID)
+		printPasses(c, obs, ground, []visibility.PassWindow{w})
+		return
+	}
+
+	if *sat < 0 || *sat >= c.Size() {
+		fatal(fmt.Errorf("satellite %d out of [0,%d)", *sat, c.Size()))
+	}
+	ws, err := obs.PassWindows(ground, *sat, 0, horizon, 10)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s over %v, next %.1f h: %d passes\n",
+		c.Satellites[*sat].Name(c.Shells), site, *hours, len(ws))
+	printPasses(c, obs, ground, ws)
+}
+
+func printPasses(c *constellation.Constellation, obs *visibility.Observer, ground geo.Vec3, ws []visibility.PassWindow) {
+	const kaHz = 20e9
+	var rows [][]string
+	for _, w := range ws {
+		dop, err := obs.DopplerShiftHz(ground, w.SatID, w.AOSSec+1, kaHz)
+		if err != nil {
+			dop = 0
+		}
+		rows = append(rows, []string{
+			hms(w.AOSSec),
+			hms(w.MaxElevationSec),
+			hms(w.LOSSec),
+			fmt.Sprintf("%.0f s", w.DurationSec()),
+			fmt.Sprintf("%.1f°", w.MaxElevationDeg),
+			fmt.Sprintf("%+.0f kHz", dop/1000),
+		})
+	}
+	if err := plot.Table(os.Stdout, []string{"AOS", "culmination", "LOS", "duration", "max elev", "AOS Doppler @20GHz"}, rows); err != nil {
+		fatal(err)
+	}
+}
+
+func hms(t float64) string {
+	s := int(t)
+	return fmt.Sprintf("%02d:%02d:%02d", s/3600, (s/60)%60, s%60)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "passpredict:", err)
+	os.Exit(1)
+}

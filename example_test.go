@@ -1,0 +1,62 @@
+package inorbit_test
+
+import (
+	"fmt"
+	"log"
+
+	inorbit "repro"
+)
+
+// Example shows the one-minute tour: build the Starlink service, check
+// coverage and fleet size, and place a virtually-stationary server.
+func Example() {
+	svc, err := inorbit.New(inorbit.Starlink, inorbit.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("servers:", svc.Servers())
+
+	abuja := inorbit.LatLon{LatDeg: 9.06, LonDeg: 7.49}
+	fmt.Println("abuja covered:", svc.Covered(0, abuja))
+
+	vs, err := svc.PlaceVirtualServer(
+		[]inorbit.LatLon{abuja, {LatDeg: 5.60, LonDeg: -0.19}},
+		inorbit.Sticky,
+		inorbit.State{SessionMB: 16, DirtyRateMBps: 2},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("policy:", vs.Policy())
+	// Output:
+	// servers: 4409
+	// abuja covered: true
+	// policy: sticky
+}
+
+// ExampleNew_kuiper builds the Kuiper preset.
+func ExampleNew_kuiper() {
+	svc, err := inorbit.New(inorbit.Kuiper, inorbit.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(svc.Constellation().Name, svc.Servers())
+	// Output: Kuiper 3236
+}
+
+// ExampleBuildConstellation assembles a custom Walker shell.
+func ExampleBuildConstellation() {
+	c, err := inorbit.BuildConstellation("demo", []inorbit.Shell{{
+		Name:            "demo-600",
+		AltitudeKm:      600,
+		InclinationDeg:  55,
+		Planes:          12,
+		SatsPerPlane:    20,
+		MinElevationDeg: 25,
+	}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(c.Size())
+	// Output: 240
+}

@@ -1,0 +1,93 @@
+// Edgecdn: the paper's §3.1 argument. Terrestrial CDN edges cluster in
+// metro hubs, leaving 100+ ms round trips across much of Africa, South
+// America, and Central Asia; an in-orbit edge is a few milliseconds from
+// everywhere. We compare both models for well-served and under-served
+// cities.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/internal/cdn"
+	"repro/internal/cities"
+	"repro/internal/constellation"
+	"repro/internal/dcs"
+	"repro/internal/geo"
+	"repro/internal/visibility"
+)
+
+func main() {
+	fmt.Println("=== Terrestrial CDN vs in-orbit edge (paper §3.1) ===")
+
+	// Terrestrial CDN: PoPs at the cloud regions (a generous stand-in for
+	// CDN presence — real CDNs are denser in the same hubs and just as
+	// absent elsewhere).
+	var pops []geo.LatLon
+	for _, r := range dcs.Regions() {
+		pops = append(pops, r.Loc)
+	}
+	ter := cdn.Terrestrial{PoPs: pops}
+
+	c, err := constellation.StarlinkPhase1(constellation.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	orb := cdn.Orbital{Observer: visibility.NewObserver(c), ProcessingMs: 0.5}
+
+	clients := []geo.LatLon{}
+	names := []string{}
+	for _, city := range []string{
+		"London", "New York", "Tokyo", // well-served
+		"N'Djamena", "Kano", "La Paz", "Mbuji-Mayi", "Kathmandu", "Antananarivo", // under-served
+	} {
+		for _, cc := range cities.Real() {
+			if cc.Name == city {
+				clients = append(clients, cc.Loc)
+				names = append(names, city)
+				break
+			}
+		}
+	}
+
+	comps, err := cdn.Compare(ter, orb, clients, c.Snapshot(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%-16s %14s %14s %10s\n", "city", "CDN RTT (ms)", "orbit RTT (ms)", "advantage")
+	for i, cp := range comps {
+		orbStr := "uncovered"
+		advStr := "-"
+		if cp.OrbitalCovered {
+			orbStr = fmt.Sprintf("%.1f", cp.OrbitalMs)
+			advStr = fmt.Sprintf("%.1fx", cp.Advantage())
+		}
+		fmt.Printf("%-16s %14.1f %14s %10s\n", names[i], cp.TerrestrialMs, orbStr, advStr)
+	}
+
+	// How much of the world's urban population lives >50 ms from the CDN?
+	top := cities.TopN(1000)
+	var far, total float64
+	worst := []cdn.Comparison{}
+	snap := c.Snapshot(0)
+	for _, city := range top {
+		rtt, err := ter.RTTMs(city.Loc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		total += float64(city.Population)
+		if rtt > 50 {
+			far += float64(city.Population)
+			orbMs, ok := orb.RTTMs(city.Loc, snap)
+			worst = append(worst, cdn.Comparison{Client: city.Loc, TerrestrialMs: rtt, OrbitalMs: orbMs, OrbitalCovered: ok})
+		}
+	}
+	fmt.Printf("\n%.0f%% of top-1000-city population sits >50 ms RTT from the terrestrial edge\n", 100*far/total)
+	sort.Slice(worst, func(i, j int) bool { return worst[i].TerrestrialMs > worst[j].TerrestrialMs })
+	if len(worst) > 0 {
+		w := worst[0]
+		fmt.Printf("worst case %.0f ms terrestrial; the in-orbit edge serves the same point at %.1f ms\n",
+			w.TerrestrialMs, w.OrbitalMs)
+	}
+}

@@ -1,0 +1,81 @@
+// Package inorbit is the public facade of the in-orbit computing library —
+// a reproduction of "In-orbit Computing: An Outlandish thought Experiment?"
+// (HotNets 2020). It re-exports the stable API surface:
+//
+//	svc, _ := inorbit.New(inorbit.Starlink, inorbit.Options{})
+//	view, _ := svc.Edge(0, inorbit.LatLon{LatDeg: 9.06, LonDeg: 7.49})
+//	fmt.Printf("nearest satellite-server: %.1f ms RTT\n", view.NearestRTTMs)
+//
+// The deeper machinery (orbital mechanics, visibility, ISL routing, meetup
+// policies, migration, feasibility) lives in the internal packages; this
+// package exposes the compositions a downstream user needs.
+package inorbit
+
+import (
+	"repro/internal/constellation"
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/meetup"
+	"repro/internal/migrate"
+)
+
+// LatLon is a geographic position (degrees north / east).
+type LatLon = geo.LatLon
+
+// Options configures a Service.
+type Options = core.Options
+
+// Service is the in-orbit computing service.
+type Service = core.Service
+
+// EdgeView answers "what compute can I reach from here, now".
+type EdgeView = core.EdgeView
+
+// VirtualServer is the virtually-stationary meetup server abstraction.
+type VirtualServer = core.VirtualServer
+
+// RunReport is a virtual server session outcome with migration costs.
+type RunReport = core.RunReport
+
+// State describes migratable application state.
+type State = migrate.State
+
+// Policy selects the meetup-server selection strategy.
+type Policy = meetup.Policy
+
+// Selection policies.
+const (
+	// MinMax re-picks the latency-optimal satellite at each instant.
+	MinMax = meetup.MinMax
+	// Sticky prioritises stationarity (the paper's §5 heuristic).
+	Sticky = meetup.Sticky
+)
+
+// Preset constellations.
+const (
+	// Starlink is SpaceX's Phase I filing: 4,409 satellites in 5 shells.
+	Starlink = core.Starlink
+	// Kuiper is Amazon's filing: 3,236 satellites in 3 shells.
+	Kuiper = core.Kuiper
+	// Telesat is Telesat's Lightspeed filing: 1,671 satellites.
+	Telesat = core.Telesat
+)
+
+// New builds the service over a preset constellation.
+func New(choice core.ConstellationChoice, opts Options) (*Service, error) {
+	return core.NewService(choice, opts)
+}
+
+// NewCustom builds the service over a caller-assembled constellation
+// (see Shell and BuildConstellation).
+func NewCustom(c *constellation.Constellation, opts Options) (*Service, error) {
+	return core.NewServiceFor(c, opts)
+}
+
+// Shell is one Walker-delta constellation shell.
+type Shell = constellation.Shell
+
+// BuildConstellation assembles a custom constellation from shells.
+func BuildConstellation(name string, shells []Shell) (*constellation.Constellation, error) {
+	return constellation.Build(name, shells, constellation.Config{})
+}

@@ -1,0 +1,87 @@
+package inorbit
+
+import (
+	"math"
+	"testing"
+)
+
+// The facade tests exercise the public API the README documents, over the
+// real Starlink preset (construction is fast; queries are cheap).
+
+func service(t testing.TB) *Service {
+	t.Helper()
+	svc, err := New(Starlink, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	svc := service(t)
+	if svc.Servers() != 4409 {
+		t.Fatalf("Servers = %d, want 4409", svc.Servers())
+	}
+	view, err := svc.Edge(0, LatLon{LatDeg: 9.06, LonDeg: 7.49})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's headline numbers: nearest ≈4 ms, farthest ≤16 ms, tens
+	// of servers in view.
+	if view.NearestRTTMs < 3.6 || view.NearestRTTMs > 12 {
+		t.Fatalf("nearest RTT = %v", view.NearestRTTMs)
+	}
+	if view.FarthestRTTMs > 16.5 {
+		t.Fatalf("farthest RTT = %v", view.FarthestRTTMs)
+	}
+	if len(view.Reachable) < 20 {
+		t.Fatalf("only %d servers in view", len(view.Reachable))
+	}
+}
+
+func TestCustomConstellation(t *testing.T) {
+	c, err := BuildConstellation("mini", []Shell{
+		{Name: "m", AltitudeKm: 600, InclinationDeg: 55, Planes: 10, SatsPerPlane: 10, MinElevationDeg: 25},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := NewCustom(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc.Servers() != 100 {
+		t.Fatalf("Servers = %d", svc.Servers())
+	}
+}
+
+func TestVirtualServerFacade(t *testing.T) {
+	svc := service(t)
+	users := []LatLon{{LatDeg: 9.06, LonDeg: 7.49}, {LatDeg: 8.5, LonDeg: 9.0}}
+	vs, err := svc.PlaceVirtualServer(users, Sticky, State{SessionMB: 16, DirtyRateMBps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := vs.Run(0, 900, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RTT.N() == 0 {
+		t.Fatal("no latency samples")
+	}
+	if rep.RTT.Mean() <= 0 || math.IsNaN(rep.RTT.Mean()) {
+		t.Fatalf("mean RTT = %v", rep.RTT.Mean())
+	}
+	if len(rep.Migrations) != len(rep.Handoffs) {
+		t.Fatal("migrations misaligned with hand-offs")
+	}
+}
+
+func TestPolicyConstantsDistinct(t *testing.T) {
+	if MinMax == Sticky {
+		t.Fatal("policy constants collide")
+	}
+	if MinMax.String() != "minmax" || Sticky.String() != "sticky" {
+		t.Fatal("policy names wrong")
+	}
+}

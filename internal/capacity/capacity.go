@@ -1,0 +1,214 @@
+// Package capacity balances in-orbit compute supply against terrestrial
+// demand: each satellite carries one server's worth of cores, each
+// population center demands cores in proportion to its population, and
+// satellites serve the cities inside their footprint. The analysis
+// quantifies two of the paper's observations at once — "one satellite may
+// not offer a large amount of available compute" (metros oversubscribe
+// their footprint) and Fig 4/5's idle fleet (most satellites see no
+// demand at all).
+package capacity
+
+import (
+	"fmt"
+
+	"repro/internal/cities"
+	"repro/internal/compute"
+	"repro/internal/constellation"
+	"repro/internal/geo"
+	"repro/internal/visibility"
+)
+
+// Demand converts population into core demand.
+type Demand struct {
+	// AdoptionFraction is the share of the population using the service.
+	AdoptionFraction float64
+	// CoresPerThousandUsers is the concurrent core demand per 1,000 active
+	// users (edge inference, game servers, CDN logic).
+	CoresPerThousandUsers float64
+}
+
+// Validate reports whether the demand model is usable.
+func (d Demand) Validate() error {
+	if d.AdoptionFraction < 0 || d.AdoptionFraction > 1 {
+		return fmt.Errorf("capacity: adoption fraction %v outside [0,1]", d.AdoptionFraction)
+	}
+	if d.CoresPerThousandUsers < 0 {
+		return fmt.Errorf("capacity: negative core demand")
+	}
+	return nil
+}
+
+// CityCores returns the core demand of one city.
+func (d Demand) CityCores(population int) float64 {
+	return float64(population) * d.AdoptionFraction * d.CoresPerThousandUsers / 1000
+}
+
+// CityBalance is one city's supply/demand outcome.
+type CityBalance struct {
+	// Name of the city.
+	Name string
+	// DemandCores is the city's concurrent core demand.
+	DemandCores float64
+	// AllocatedCores is what the visible satellites could allocate to it.
+	AllocatedCores float64
+	// VisibleSats counts satellites in the city's footprint.
+	VisibleSats int
+}
+
+// SatisfiedFraction returns allocated/demand (1 when demand is zero).
+func (b CityBalance) SatisfiedFraction() float64 {
+	if b.DemandCores <= 0 {
+		return 1
+	}
+	f := b.AllocatedCores / b.DemandCores
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// Report is the fleet-wide balance at one instant.
+type Report struct {
+	// Cities holds the per-city outcomes (largest first).
+	Cities []CityBalance
+	// TotalDemandCores and TotalAllocatedCores aggregate over cities.
+	TotalDemandCores, TotalAllocatedCores float64
+	// IdleSats counts satellites with no demand in their footprint.
+	IdleSats int
+	// FleetUtilization is allocated cores / fleet cores.
+	FleetUtilization float64
+}
+
+// SatisfiedFraction returns the demand-weighted satisfaction.
+func (r Report) SatisfiedFraction() float64 {
+	if r.TotalDemandCores <= 0 {
+		return 1
+	}
+	f := r.TotalAllocatedCores / r.TotalDemandCores
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// Balance allocates the fleet's cores to the top-n cities at a snapshot.
+// Allocation is proportional water-filling: in each round every satellite
+// splits its remaining capacity among its unsatisfied visible cities in
+// proportion to their residual demand; a few rounds converge to within a
+// fraction of a core.
+func Balance(c *constellation.Constellation, spec compute.ServerSpec, d Demand, topN int, tSec float64) (Report, error) {
+	if err := spec.Validate(); err != nil {
+		return Report{}, err
+	}
+	if err := d.Validate(); err != nil {
+		return Report{}, err
+	}
+	if topN <= 0 || topN > cities.MaxCities {
+		return Report{}, fmt.Errorf("capacity: topN %d out of range", topN)
+	}
+	top := cities.TopN(topN)
+	grounds := cities.ECEF(top)
+	obs := visibility.NewObserver(c)
+	snap := c.Snapshot(tSec)
+
+	// visibleCities[sat] lists city indices in the satellite's footprint.
+	visibleCities := make([][]int, c.Size())
+	visCount := make([]int, len(top))
+	for sat, pos := range snap {
+		for ci, g := range grounds {
+			if obs.Visible(g, sat, pos) {
+				visibleCities[sat] = append(visibleCities[sat], ci)
+				visCount[ci]++
+			}
+		}
+	}
+
+	residual := make([]float64, len(top))
+	allocated := make([]float64, len(top))
+	var totalDemand float64
+	for i, city := range top {
+		residual[i] = d.CityCores(city.Population)
+		totalDemand += residual[i]
+	}
+	capLeft := make([]float64, c.Size())
+	for sat := range capLeft {
+		capLeft[sat] = spec.EffectiveCores()
+	}
+
+	const rounds = 6
+	for round := 0; round < rounds; round++ {
+		moved := false
+		for sat := range capLeft {
+			if capLeft[sat] <= 1e-9 || len(visibleCities[sat]) == 0 {
+				continue
+			}
+			var want float64
+			for _, ci := range visibleCities[sat] {
+				want += residual[ci]
+			}
+			if want <= 1e-9 {
+				continue
+			}
+			give := capLeft[sat]
+			if give > want {
+				give = want
+			}
+			for _, ci := range visibleCities[sat] {
+				share := give * residual[ci] / want
+				if share <= 0 {
+					continue
+				}
+				allocated[ci] += share
+				residual[ci] -= share
+				capLeft[sat] -= share
+				moved = true
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+
+	rep := Report{TotalDemandCores: totalDemand}
+	for i, city := range top {
+		rep.Cities = append(rep.Cities, CityBalance{
+			Name:           city.Name,
+			DemandCores:    allocated[i] + residual[i],
+			AllocatedCores: allocated[i],
+			VisibleSats:    visCount[i],
+		})
+		rep.TotalAllocatedCores += allocated[i]
+	}
+	fleetCores := float64(c.Size()) * spec.EffectiveCores()
+	if fleetCores > 0 {
+		rep.FleetUtilization = rep.TotalAllocatedCores / fleetCores
+	}
+	for sat := range visibleCities {
+		if len(visibleCities[sat]) == 0 {
+			rep.IdleSats++
+		}
+	}
+	return rep, nil
+}
+
+// worstCity returns the city with the lowest satisfaction (ties: largest
+// demand). Exposed for diagnostics in examples and experiments.
+func (r Report) WorstCity() (CityBalance, bool) {
+	if len(r.Cities) == 0 {
+		return CityBalance{}, false
+	}
+	worst := r.Cities[0]
+	for _, cb := range r.Cities[1:] {
+		wf, cf := worst.SatisfiedFraction(), cb.SatisfiedFraction()
+		if cf < wf || (cf == wf && cb.DemandCores > worst.DemandCores) {
+			worst = cb
+		}
+	}
+	return worst, true
+}
+
+// GroundsOf exposes the evaluated city set for callers that want to join
+// results against coordinates.
+func GroundsOf(topN int) []geo.LatLon {
+	return cities.Locations(cities.TopN(topN))
+}

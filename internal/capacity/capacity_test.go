@@ -1,0 +1,141 @@
+package capacity
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/compute"
+	"repro/internal/constellation"
+)
+
+func starlink(t testing.TB) *constellation.Constellation {
+	t.Helper()
+	c, err := constellation.StarlinkPhase1(constellation.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestDemandValidate(t *testing.T) {
+	if err := (Demand{AdoptionFraction: 0.01, CoresPerThousandUsers: 1}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Demand{AdoptionFraction: 1.5}).Validate(); err == nil {
+		t.Fatal("bad adoption accepted")
+	}
+	if err := (Demand{AdoptionFraction: 0.5, CoresPerThousandUsers: -1}).Validate(); err == nil {
+		t.Fatal("negative demand accepted")
+	}
+}
+
+func TestCityCores(t *testing.T) {
+	d := Demand{AdoptionFraction: 0.01, CoresPerThousandUsers: 2}
+	// 1M people × 1% × 2/1000 = 20 cores.
+	if got := d.CityCores(1000000); math.Abs(got-20) > 1e-9 {
+		t.Fatalf("CityCores = %v", got)
+	}
+}
+
+func TestBalanceValidation(t *testing.T) {
+	c := starlink(t)
+	spec := compute.DefaultServerSpec()
+	good := Demand{AdoptionFraction: 0.01, CoresPerThousandUsers: 1}
+	if _, err := Balance(c, compute.ServerSpec{}, good, 100, 0); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+	if _, err := Balance(c, spec, Demand{AdoptionFraction: 2}, 100, 0); err == nil {
+		t.Fatal("bad demand accepted")
+	}
+	if _, err := Balance(c, spec, good, 0, 0); err == nil {
+		t.Fatal("topN=0 accepted")
+	}
+}
+
+func TestBalanceConservation(t *testing.T) {
+	c := starlink(t)
+	spec := compute.DefaultServerSpec()
+	d := Demand{AdoptionFraction: 0.02, CoresPerThousandUsers: 1}
+	rep, err := Balance(c, spec, d, 300, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Allocation never exceeds demand or fleet capacity.
+	if rep.TotalAllocatedCores > rep.TotalDemandCores+1e-6 {
+		t.Fatalf("allocated %v exceeds demand %v", rep.TotalAllocatedCores, rep.TotalDemandCores)
+	}
+	fleet := float64(c.Size()) * spec.EffectiveCores()
+	if rep.TotalAllocatedCores > fleet+1e-6 {
+		t.Fatalf("allocated %v exceeds fleet %v", rep.TotalAllocatedCores, fleet)
+	}
+	// Per-city: allocation ≤ demand; visible sats consistent with Fig 2
+	// scale (tens for mid-latitude cities).
+	for _, cb := range rep.Cities {
+		if cb.AllocatedCores > cb.DemandCores+1e-6 {
+			t.Fatalf("%s over-allocated: %+v", cb.Name, cb)
+		}
+		if cb.SatisfiedFraction() < 0 || cb.SatisfiedFraction() > 1 {
+			t.Fatalf("%s satisfaction out of range", cb.Name)
+		}
+	}
+	if rep.FleetUtilization <= 0 || rep.FleetUtilization > 1 {
+		t.Fatalf("utilization = %v", rep.FleetUtilization)
+	}
+	// The Fig 4 connection: a large fraction of the fleet sees no city.
+	idleFrac := float64(rep.IdleSats) / float64(c.Size())
+	if idleFrac < 0.3 {
+		t.Fatalf("idle fraction = %v, expected > 0.3 with 300 cities", idleFrac)
+	}
+}
+
+func TestBalanceScalesWithAdoption(t *testing.T) {
+	c := starlink(t)
+	spec := compute.DefaultServerSpec()
+	low, err := Balance(c, spec, Demand{AdoptionFraction: 0.001, CoresPerThousandUsers: 1}, 200, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := Balance(c, spec, Demand{AdoptionFraction: 0.2, CoresPerThousandUsers: 1}, 200, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Light demand: everyone satisfied. Heavy demand: metros oversubscribe
+	// their footprint (the paper's "one satellite may not offer a large
+	// amount of available compute").
+	if low.SatisfiedFraction() < 0.999 {
+		t.Fatalf("light demand not fully served: %v", low.SatisfiedFraction())
+	}
+	if high.SatisfiedFraction() >= 0.999 {
+		t.Fatalf("heavy demand fully served — model has no scarcity: %v", high.SatisfiedFraction())
+	}
+	if high.FleetUtilization <= low.FleetUtilization {
+		t.Fatal("utilization should grow with adoption")
+	}
+	worst, ok := high.WorstCity()
+	if !ok {
+		t.Fatal("no worst city")
+	}
+	if worst.SatisfiedFraction() >= 1 {
+		t.Fatalf("worst city fully satisfied under heavy load: %+v", worst)
+	}
+}
+
+func TestZeroDemandFullySatisfied(t *testing.T) {
+	c := starlink(t)
+	rep, err := Balance(c, compute.DefaultServerSpec(), Demand{AdoptionFraction: 0, CoresPerThousandUsers: 1}, 50, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SatisfiedFraction() != 1 || rep.TotalAllocatedCores != 0 {
+		t.Fatalf("zero demand mishandled: %+v", rep)
+	}
+	if _, ok := rep.WorstCity(); !ok {
+		t.Fatal("WorstCity should exist")
+	}
+}
+
+func TestGroundsOf(t *testing.T) {
+	if got := len(GroundsOf(123)); got != 123 {
+		t.Fatalf("GroundsOf = %d", got)
+	}
+}

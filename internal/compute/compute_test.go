@@ -1,0 +1,151 @@
+package compute
+
+import (
+	"math"
+	"testing"
+)
+
+func newNode(t *testing.T, satID int, spec ServerSpec) *Node {
+	t.Helper()
+	n, err := NewNode(satID, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestSpecValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		s    ServerSpec
+		ok   bool
+	}{
+		{"default", DefaultServerSpec(), true},
+		{"no-cores", ServerSpec{Cores: 0, MemoryGB: 1, PowerCapFraction: 1}, false},
+		{"no-mem", ServerSpec{Cores: 1, MemoryGB: 0, PowerCapFraction: 1}, false},
+		{"bad-cap", ServerSpec{Cores: 1, MemoryGB: 1, PowerCapFraction: 1.5}, false},
+		{"zero-cap", ServerSpec{Cores: 1, MemoryGB: 1, PowerCapFraction: 0}, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.s.Validate(); (err == nil) != tc.ok {
+				t.Fatalf("Validate = %v, want ok=%v", err, tc.ok)
+			}
+		})
+	}
+}
+
+func TestEffectiveCoresUnderPowerCap(t *testing.T) {
+	s := ServerSpec{Cores: 64, MemoryGB: 2048, PowerCapFraction: 0.5}
+	if got := s.EffectiveCores(); got != 32 {
+		t.Fatalf("EffectiveCores = %v", got)
+	}
+}
+
+func TestPlaceReleaseAccounting(t *testing.T) {
+	n := newNode(t, 7, ServerSpec{Cores: 8, MemoryGB: 64, PowerCapFraction: 1})
+	if err := n.Place(Task{ID: 1, Cores: 4, MemoryGB: 32}); err != nil {
+		t.Fatal(err)
+	}
+	if n.Tasks() != 1 {
+		t.Fatalf("Tasks = %d", n.Tasks())
+	}
+	if got := n.UtilizationCores(); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("Utilization = %v", got)
+	}
+	// Duplicate ID rejected.
+	if err := n.Place(Task{ID: 1, Cores: 1}); err == nil {
+		t.Fatal("duplicate task accepted")
+	}
+	// Negative demands rejected.
+	if err := n.Place(Task{ID: 2, Cores: -1}); err == nil {
+		t.Fatal("negative demand accepted")
+	}
+	// Overflow rejected.
+	if err := n.Place(Task{ID: 3, Cores: 5}); err == nil {
+		t.Fatal("core overflow accepted")
+	}
+	if err := n.Place(Task{ID: 4, Cores: 1, MemoryGB: 64}); err == nil {
+		t.Fatal("memory overflow accepted")
+	}
+	// Release frees capacity.
+	if err := n.Release(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Release(1); err == nil {
+		t.Fatal("double release accepted")
+	}
+	if err := n.Place(Task{ID: 3, Cores: 8, MemoryGB: 64}); err != nil {
+		t.Fatalf("full-capacity placement after release failed: %v", err)
+	}
+}
+
+func TestNodeRejectsBadSpec(t *testing.T) {
+	if _, err := NewNode(1, ServerSpec{}); err == nil {
+		t.Fatal("zero spec accepted")
+	}
+}
+
+func TestClusterPlacementGreedy(t *testing.T) {
+	c := NewCluster()
+	for sat := 0; sat < 3; sat++ {
+		if err := c.AddNode(newNode(t, sat, ServerSpec{Cores: 4, MemoryGB: 16, PowerCapFraction: 1})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Size() != 3 {
+		t.Fatalf("Size = %d", c.Size())
+	}
+	if err := c.AddNode(newNode(t, 0, DefaultServerSpec())); err == nil {
+		t.Fatal("duplicate node accepted")
+	}
+	reach := []Reachable{{SatID: 2, RTTMs: 9}, {SatID: 0, RTTMs: 4}, {SatID: 1, RTTMs: 6}}
+
+	// First task goes to the lowest-latency satellite.
+	got, err := c.PlaceLatencyGreedy(Task{ID: 1, Cores: 4, MemoryGB: 8}, reach)
+	if err != nil || got.SatID != 0 {
+		t.Fatalf("placement = %+v, %v", got, err)
+	}
+	// Second task spills to the next-lowest (sat 0 is core-full).
+	got, err = c.PlaceLatencyGreedy(Task{ID: 2, Cores: 4, MemoryGB: 8}, reach)
+	if err != nil || got.SatID != 1 {
+		t.Fatalf("spill placement = %+v, %v", got, err)
+	}
+	// A task no node can fit fails.
+	if _, err := c.PlaceLatencyGreedy(Task{ID: 3, Cores: 100}, reach); err == nil {
+		t.Fatal("oversize task accepted")
+	}
+	// Unknown satellites in the reachable list are skipped gracefully.
+	got, err = c.PlaceLatencyGreedy(Task{ID: 4, Cores: 1, MemoryGB: 1},
+		[]Reachable{{SatID: 99, RTTMs: 1}, {SatID: 2, RTTMs: 9}})
+	if err != nil || got.SatID != 2 {
+		t.Fatalf("unknown-sat handling = %+v, %v", got, err)
+	}
+}
+
+func TestClusterUtilization(t *testing.T) {
+	c := NewCluster()
+	n0 := newNode(t, 0, ServerSpec{Cores: 4, MemoryGB: 16, PowerCapFraction: 1})
+	n1 := newNode(t, 1, ServerSpec{Cores: 4, MemoryGB: 16, PowerCapFraction: 1})
+	if err := c.AddNode(n0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddNode(n1); err != nil {
+		t.Fatal(err)
+	}
+	if err := n0.Place(Task{ID: 1, Cores: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.TotalUtilization(); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("TotalUtilization = %v", got)
+	}
+	if NewCluster().TotalUtilization() != 0 {
+		t.Fatal("empty cluster utilization != 0")
+	}
+	if _, ok := c.Node(0); !ok {
+		t.Fatal("Node lookup failed")
+	}
+	if _, ok := c.Node(42); ok {
+		t.Fatal("phantom node found")
+	}
+}

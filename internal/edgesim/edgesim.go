@@ -1,0 +1,248 @@
+// Package edgesim simulates request-level edge computing on the
+// constellation: requests arrive from a ground site, ride the uplink to a
+// satellite-server, queue for CPU, and return. It answers the §3.1
+// operational question the geometric analysis cannot: at what request load
+// does the latency advantage of the in-orbit edge survive queueing?
+package edgesim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/constellation"
+	"repro/internal/geo"
+	"repro/internal/netsim"
+	"repro/internal/stats"
+	"repro/internal/units"
+	"repro/internal/visibility"
+)
+
+// Workload describes the request stream from one ground site.
+type Workload struct {
+	// ArrivalPerSec is the Poisson request rate.
+	ArrivalPerSec float64
+	// ServiceSec is the CPU time one request needs on one core.
+	ServiceSec float64
+	// Seed fixes the arrival/jitter draw.
+	Seed int64
+}
+
+// Validate reports whether the workload is usable.
+func (w Workload) Validate() error {
+	if w.ArrivalPerSec <= 0 {
+		return fmt.Errorf("edgesim: arrival rate must be positive, got %v", w.ArrivalPerSec)
+	}
+	if w.ServiceSec <= 0 {
+		return fmt.Errorf("edgesim: service time must be positive, got %v", w.ServiceSec)
+	}
+	return nil
+}
+
+// Policy selects which visible satellite serves a request.
+type Policy int
+
+const (
+	// Nearest always uses the lowest-propagation satellite — minimal
+	// propagation, but one server absorbs the whole site.
+	Nearest Policy = iota
+	// LeastBusy picks the visible satellite whose server frees up first —
+	// spreads load across the footprint at a small propagation cost.
+	LeastBusy
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	if p == Nearest {
+		return "nearest"
+	}
+	return "least-busy"
+}
+
+// Config assembles a simulation.
+type Config struct {
+	// Site is the requesting ground location.
+	Site geo.LatLon
+	// CoresPerSat is each satellite-server's parallel capacity: the
+	// simulator models CoresPerSat independent cores per satellite, each
+	// serving one request at a time (M/G/k, earliest-free-core dispatch).
+	CoresPerSat int
+	// Policy selects the attachment strategy.
+	Policy Policy
+	// DurationSec bounds the simulated window; satellite positions are
+	// frozen at the snapshot (windows of tens of seconds — a satellite
+	// moves ~7.5 km/s, small against the coverage cone).
+	DurationSec float64
+	// SnapshotSec is the constellation epoch offset for the window.
+	SnapshotSec float64
+}
+
+// Result summarises the run.
+type Result struct {
+	// Completed counts requests finished within the window.
+	Completed int
+	// ResponseMs aggregates end-to-end response times (up + queue +
+	// service + down).
+	ResponseMs *stats.CDF
+	// PropagationMs aggregates the pure network component.
+	PropagationMs *stats.CDF
+	// ServersUsed counts distinct satellites that served requests.
+	ServersUsed int
+	// MaxUtilization is the busiest server's utilisation.
+	MaxUtilization float64
+}
+
+// Run simulates the workload against the constellation.
+func Run(c *constellation.Constellation, cfg Config, w Workload) (Result, error) {
+	if err := w.Validate(); err != nil {
+		return Result{}, err
+	}
+	if cfg.CoresPerSat <= 0 {
+		return Result{}, fmt.Errorf("edgesim: cores must be positive")
+	}
+	if cfg.DurationSec <= 0 {
+		return Result{}, fmt.Errorf("edgesim: duration must be positive")
+	}
+	if !cfg.Site.Valid() {
+		return Result{}, fmt.Errorf("edgesim: invalid site %v", cfg.Site)
+	}
+
+	obs := visibility.NewObserver(c)
+	snap := c.Snapshot(cfg.SnapshotSec)
+	ground := cfg.Site.ECEF()
+	passes := obs.Reachable(ground, snap, nil)
+	if len(passes) == 0 {
+		return Result{}, fmt.Errorf("edgesim: no satellite in view of %v", cfg.Site)
+	}
+	sort.Slice(passes, func(i, j int) bool { return passes[i].SlantKm < passes[j].SlantKm })
+
+	sim := netsim.New()
+	// Per-satellite core banks: each core is a unit-rate FIFO resource, so
+	// one request always costs its full ServiceSec on one core.
+	servers := make([][]*netsim.Resource, len(passes))
+	for i := range passes {
+		servers[i] = make([]*netsim.Resource, cfg.CoresPerSat)
+		for k := range servers[i] {
+			r, err := netsim.NewResource(sim, fmt.Sprintf("sat-%d-core-%d", passes[i].SatID, k), 1)
+			if err != nil {
+				return Result{}, err
+			}
+			servers[i][k] = r
+		}
+	}
+	freeAt := func(i int) (int, float64) {
+		bestK, best := 0, math.Inf(1)
+		for k, r := range servers[i] {
+			if b := r.BusyUntil(); b < best {
+				best = b
+				bestK = k
+			}
+		}
+		return bestK, best
+	}
+
+	res := Result{ResponseMs: stats.NewCDF(), PropagationMs: stats.NewCDF()}
+	used := make(map[int]bool)
+	rng := rand.New(rand.NewSource(w.Seed))
+
+	var arrive func()
+	schedule := func() {
+		gap := rng.ExpFloat64() / w.ArrivalPerSec
+		if sim.Now()+gap < cfg.DurationSec {
+			if _, err := sim.After(gap, arrive); err != nil {
+				panic(err) // positive delay by construction
+			}
+		}
+	}
+	arrive = func() {
+		start := sim.Now()
+		// Choose the server.
+		idx := 0
+		if cfg.Policy == LeastBusy {
+			best := math.Inf(1)
+			for i := range servers {
+				// Earliest predicted completion including propagation.
+				_, free := freeAt(i)
+				eta := math.Max(free, start) + units.PropagationDelayMs(passes[i].SlantKm)/1000
+				if eta < best {
+					best = eta
+					idx = i
+				}
+			}
+		}
+		p := passes[idx]
+		used[p.SatID] = true
+		oneWay := units.PropagationDelayMs(p.SlantKm) / 1000 // seconds
+
+		// The request reaches the satellite after the uplink delay, then
+		// queues for CPU; the response rides back down.
+		if _, err := sim.After(oneWay, func() {
+			core, _ := freeAt(idx)
+			if _, err := servers[idx][core].Submit(w.ServiceSec, func(finish float64) {
+				respSec := finish - start + oneWay // add the downlink
+				res.Completed++
+				res.ResponseMs.Add(respSec * 1000)
+				res.PropagationMs.Add(2 * oneWay * 1000)
+			}); err != nil {
+				panic(err) // non-negative size by validation
+			}
+		}); err != nil {
+			panic(err)
+		}
+		schedule()
+	}
+	if _, err := sim.At(0, func() { schedule() }); err != nil {
+		return Result{}, err
+	}
+	sim.RunAll()
+
+	res.ServersUsed = len(used)
+	for _, bank := range servers {
+		// Server utilisation = mean over its cores.
+		sum := 0.0
+		for _, r := range bank {
+			sum += r.Utilization()
+		}
+		if u := sum / float64(len(bank)); u > res.MaxUtilization {
+			res.MaxUtilization = u
+		}
+	}
+	return res, nil
+}
+
+// LoadSweepRow is one arrival-rate point.
+type LoadSweepRow struct {
+	ArrivalPerSec  float64
+	P50Ms, P99Ms   float64
+	ServersUsed    int
+	MaxUtilization float64
+}
+
+// LoadSweep runs the workload at increasing arrival rates under the policy,
+// exposing where queueing erodes the propagation advantage.
+func LoadSweep(c *constellation.Constellation, cfg Config, base Workload, rates []float64) ([]LoadSweepRow, error) {
+	if len(rates) == 0 {
+		rates = []float64{10, 50, 100, 200, 400}
+	}
+	var out []LoadSweepRow
+	for _, rate := range rates {
+		w := base
+		w.ArrivalPerSec = rate
+		r, err := Run(c, cfg, w)
+		if err != nil {
+			return nil, err
+		}
+		row := LoadSweepRow{
+			ArrivalPerSec:  rate,
+			ServersUsed:    r.ServersUsed,
+			MaxUtilization: r.MaxUtilization,
+		}
+		if r.ResponseMs.N() > 0 {
+			row.P50Ms = r.ResponseMs.Median()
+			row.P99Ms = r.ResponseMs.Quantile(0.99)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}

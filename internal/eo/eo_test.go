@@ -1,0 +1,262 @@
+package eo
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/orbit"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func validMission() Mission {
+	return Mission{
+		SensingRateGbps:  5,
+		DownlinkRateGbps: 2, // the sensing share of a 10 Gbps link
+		StorageGb:        4000,
+		PreprocessFactor: 1,
+	}
+}
+
+func TestMissionValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		mut  func(*Mission)
+		ok   bool
+	}{
+		{"valid", func(m *Mission) {}, true},
+		{"no-sense", func(m *Mission) { m.SensingRateGbps = 0 }, false},
+		{"no-downlink", func(m *Mission) { m.DownlinkRateGbps = 0 }, false},
+		{"neg-storage", func(m *Mission) { m.StorageGb = -1 }, false},
+		{"bad-factor", func(m *Mission) { m.PreprocessFactor = 0.5 }, false},
+		{"factor-no-proc", func(m *Mission) { m.PreprocessFactor = 10; m.ProcessRateGbps = 0 }, false},
+		{"factor-with-proc", func(m *Mission) { m.PreprocessFactor = 10; m.ProcessRateGbps = 6 }, true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			m := validMission()
+			tc.mut(&m)
+			if err := m.Validate(); (err == nil) != tc.ok {
+				t.Fatalf("Validate = %v, want ok=%v", err, tc.ok)
+			}
+		})
+	}
+}
+
+func TestSensingDutyDownlinkBound(t *testing.T) {
+	// Without preprocessing, a 5 Gbps sensor behind a 2 Gbps downlink with
+	// 10% contact time can sense only 2×0.1/5 = 4% of the time — the
+	// paper's "sensing time is limited by data transmission capacity".
+	m := validMission()
+	duty, err := m.MaxSensingDutyCycle(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(duty, 0.04, 1e-9) {
+		t.Fatalf("duty = %v, want 0.04", duty)
+	}
+}
+
+func TestSensingDutyWithPreprocessing(t *testing.T) {
+	// A 10x reduction multiplies sensing time 10x (until another limit).
+	m := validMission()
+	m.PreprocessFactor = 10
+	m.ProcessRateGbps = 100
+	duty, err := m.MaxSensingDutyCycle(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(duty, 0.4, 1e-9) {
+		t.Fatalf("duty = %v, want 0.4 (10x the raw 0.04)", duty)
+	}
+	// Processing-bound case: a slow onboard server caps the gain.
+	m.ProcessRateGbps = 1
+	duty, err = m.MaxSensingDutyCycle(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(duty, 0.2, 1e-9) { // 1/5 of sensor rate
+		t.Fatalf("processing-bound duty = %v, want 0.2", duty)
+	}
+	// Duty never exceeds 1.
+	m.ProcessRateGbps = 1000
+	duty, err = m.MaxSensingDutyCycle(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if duty != 1 {
+		t.Fatalf("duty = %v, want clamp at 1", duty)
+	}
+}
+
+func TestDownlinkSavings(t *testing.T) {
+	m := validMission()
+	if got := m.DownlinkSavingsFraction(); got != 0 {
+		t.Fatalf("no-preprocess savings = %v", got)
+	}
+	m.PreprocessFactor = 10
+	if got := m.DownlinkSavingsFraction(); !almostEq(got, 0.9, 1e-12) {
+		t.Fatalf("savings = %v, want 0.9", got)
+	}
+}
+
+func TestContactFraction(t *testing.T) {
+	// One equatorial ground station under an equatorial orbit: contact a
+	// substantial fraction of every orbit; a polar station: never.
+	el := orbit.Elements{AltitudeKm: 550, InclinationDeg: 0}
+	eq := []geo.LatLon{{LatDeg: 0, LonDeg: 0}}
+	cf, err := ContactFraction(el, eq, 25, 2*el.PeriodSec(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cf <= 0.01 || cf >= 0.2 {
+		t.Fatalf("equatorial contact fraction = %v", cf)
+	}
+	pole := []geo.LatLon{{LatDeg: 89, LonDeg: 0}}
+	cf, err = ContactFraction(el, pole, 25, el.PeriodSec(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cf != 0 {
+		t.Fatalf("polar contact fraction = %v, want 0", cf)
+	}
+	// More stations → more contact.
+	many := []geo.LatLon{{LonDeg: 0}, {LonDeg: 90}, {LonDeg: 180}, {LonDeg: -90}}
+	cfMany, err := ContactFraction(el, many, 25, el.PeriodSec(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfOne, _ := ContactFraction(el, eq, 25, el.PeriodSec(), 5)
+	if cfMany <= cfOne {
+		t.Fatalf("4 stations (%v) not more contact than 1 (%v)", cfMany, cfOne)
+	}
+	// Validation.
+	if _, err := ContactFraction(el, eq, 25, 0, 5); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	if _, err := ContactFraction(orbit.Elements{AltitudeKm: -1}, eq, 25, 10, 5); err == nil {
+		t.Error("bad orbit accepted")
+	}
+}
+
+func TestStoreAndForwardConservation(t *testing.T) {
+	m := validMission()
+	contacts := [][2]float64{{100, 200}, {400, 500}}
+	res, err := SimulateStoreAndForward(m, contacts, 600, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Conservation: sensed/R = downlinked + backlog left (no drops unless
+	// storage filled; with 4000 Gb it never does here).
+	if res.MissedGb != 0 {
+		t.Fatalf("unexpected missed sensing: %+v", res)
+	}
+	intake := res.SensedGb / m.PreprocessFactor
+	if intake < res.DownlinkedGb-1e-6 {
+		t.Fatalf("downlinked more than sensed: %+v", res)
+	}
+	if res.PeakBacklogGb <= 0 || res.PeakBacklogGb > m.StorageGb {
+		t.Fatalf("peak backlog out of range: %+v", res)
+	}
+	if res.SensingSec <= 0 || res.SensingSec > 600 {
+		t.Fatalf("sensing time out of range: %+v", res)
+	}
+}
+
+func TestStoreAndForwardStorageBound(t *testing.T) {
+	// Tiny buffer, no contact at all: sensing stops once full, data drops.
+	m := validMission()
+	m.StorageGb = 50
+	res, err := SimulateStoreAndForward(m, nil, 600, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DownlinkedGb != 0 {
+		t.Fatalf("downlinked without contact: %+v", res)
+	}
+	if !almostEq(res.PeakBacklogGb, 50, 1e-6) {
+		t.Fatalf("peak backlog = %v, want 50", res.PeakBacklogGb)
+	}
+	// Sensing stops at 10 s (50 Gb / 5 Gbps).
+	if !almostEq(res.SensingSec, 10, 0.5) {
+		t.Fatalf("sensing = %v s, want ≈10", res.SensingSec)
+	}
+	if res.MissedGb <= 0 {
+		t.Fatal("expected missed sensing once storage filled")
+	}
+}
+
+func TestStoreAndForwardPreprocessingExtendsSensing(t *testing.T) {
+	raw := validMission()
+	raw.StorageGb = 100
+	proc := raw
+	proc.PreprocessFactor = 10
+	proc.ProcessRateGbps = 100
+
+	r1, err := SimulateStoreAndForward(raw, [][2]float64{{0, 60}}, 600, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := SimulateStoreAndForward(proc, [][2]float64{{0, 60}}, 600, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.SensingSec <= r1.SensingSec*2 {
+		t.Fatalf("preprocessing sensing %v s not much above raw %v s", r2.SensingSec, r1.SensingSec)
+	}
+	if r2.DownlinkedGb >= r1.DownlinkedGb {
+		t.Fatalf("preprocessing should downlink less: %v vs %v", r2.DownlinkedGb, r1.DownlinkedGb)
+	}
+}
+
+func TestStoreAndForwardValidation(t *testing.T) {
+	m := validMission()
+	if _, err := SimulateStoreAndForward(m, nil, 0, 1); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	if _, err := SimulateStoreAndForward(m, [][2]float64{{10, 5}}, 100, 1); err == nil {
+		t.Error("inverted window accepted")
+	}
+	bad := m
+	bad.SensingRateGbps = 0
+	if _, err := SimulateStoreAndForward(bad, nil, 100, 1); err == nil {
+		t.Error("invalid mission accepted")
+	}
+}
+
+func TestCooperativeSpeedup(t *testing.T) {
+	// k=1: no speedup.
+	s, err := CooperativeSpeedup(100, 1, 1, 20)
+	if err != nil || !almostEq(s, 1, 1e-9) {
+		t.Fatalf("k=1 speedup = %v, %v", s, err)
+	}
+	// Fast ISLs: near-linear speedup.
+	s4, err := CooperativeSpeedup(100, 4, 1, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s4 < 3 || s4 > 4 {
+		t.Fatalf("k=4 fast-ISL speedup = %v, want ≈4", s4)
+	}
+	// Slow ISLs: distribution dominates; speedup collapses.
+	sSlow, err := CooperativeSpeedup(100, 4, 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sSlow >= 1 {
+		t.Fatalf("slow-ISL speedup = %v, should be < 1", sSlow)
+	}
+	// More satellites never slow the fast-ISL case down.
+	s8, _ := CooperativeSpeedup(100, 8, 1, 1000)
+	if s8 <= s4 {
+		t.Fatalf("k=8 speedup %v not above k=4 %v", s8, s4)
+	}
+	// Validation.
+	if _, err := CooperativeSpeedup(0, 4, 1, 1); err == nil {
+		t.Error("zero job accepted")
+	}
+	if _, err := CooperativeSpeedup(1, 0, 1, 1); err == nil {
+		t.Error("zero k accepted")
+	}
+}

@@ -1,0 +1,99 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation. Each Fig* function is parameterised by a scale config so the
+// same code serves the full paper-scale run (cmd/figures) and the scaled
+// benchmark harness (bench_test.go). Results come back as plot-ready series
+// plus the summary quantities the paper quotes in prose.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/constellation"
+)
+
+// ConstellationSet names the constellations a sweep covers.
+type ConstellationSet struct {
+	Starlink bool
+	Kuiper   bool
+	Telesat  bool
+}
+
+// Both returns the paper's default pair: Starlink Phase I and Kuiper.
+func Both() ConstellationSet { return ConstellationSet{Starlink: true, Kuiper: true} }
+
+// build materialises the selected constellations in order.
+func (cs ConstellationSet) build() ([]*constellation.Constellation, error) {
+	var out []*constellation.Constellation
+	if cs.Starlink {
+		c, err := constellation.StarlinkPhase1(constellation.Config{})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	if cs.Kuiper {
+		c, err := constellation.Kuiper(constellation.Config{})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	if cs.Telesat {
+		c, err := constellation.Telesat(constellation.Config{})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("experiments: empty constellation set")
+	}
+	return out, nil
+}
+
+// parallelFor runs fn(i) for i in [0,n) across CPUs, collecting the first
+// error. Experiment sweeps are embarrassingly parallel across latitudes and
+// user groups.
+func parallelFor(n int, fn func(i int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return firstErr
+}

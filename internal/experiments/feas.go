@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/eo"
+	"repro/internal/feasibility"
+	"repro/internal/plot"
+)
+
+// FeasibilityTable renders the §4 analysis as aligned rows matching the
+// paper's prose numbers.
+func FeasibilityTable() (string, feasibility.Report, error) {
+	rep, err := feasibility.Analyze(feasibility.Default())
+	if err != nil {
+		return "", feasibility.Report{}, err
+	}
+	var b strings.Builder
+	rows := [][]string{
+		{"Weight (server/satellite)", fmt.Sprintf("%.1f%%", rep.WeightFraction*100), "~6%"},
+		{"Volume (server/satellite)", fmt.Sprintf("%.1f%%", rep.VolumeFraction*100), "~1%"},
+		{"Power @225 W / avg solar", fmt.Sprintf("%.0f%%", rep.PowerFractionTypical*100), "15%"},
+		{"Power @350 W / avg solar", fmt.Sprintf("%.0f%%", rep.PowerFractionMax*100), "23%"},
+		{"Radiation: commodity HW ok", fmt.Sprintf("%v", rep.CommodityHardwareOK), "yes (below inner belt)"},
+		{"Launch cost of server", fmt.Sprintf("$%.0f", rep.LaunchCostUSD), "~$42,000"},
+		{"3-year in-orbit cost", fmt.Sprintf("$%.0f", rep.OrbitCost3yUSD), "-"},
+		{"3-year DC TCO", fmt.Sprintf("$%.0f", rep.DCCost3yUSD), "$15,000"},
+		{"Cost ratio (orbit/DC)", fmt.Sprintf("%.1fx", rep.CostRatio), "~3x"},
+	}
+	if err := plot.Table(&b, []string{"quantity", "measured", "paper"}, rows); err != nil {
+		return "", feasibility.Report{}, err
+	}
+	return b.String(), rep, nil
+}
+
+// EOSweepRow is one point of the §3.3 preprocessing sweep.
+type EOSweepRow struct {
+	PreprocessFactor float64
+	SensingDuty      float64
+	DownlinkSavings  float64
+}
+
+// EOSweep evaluates sensing duty cycle versus preprocessing factor for a
+// representative imaging mission: 5 Gbps sensor, a 2 Gbps slice of the
+// ground link, and the given ground-contact fraction.
+func EOSweep(contactFraction float64, factors []float64) ([]EOSweepRow, error) {
+	if len(factors) == 0 {
+		factors = []float64{1, 2, 5, 10, 20, 50}
+	}
+	var out []EOSweepRow
+	for _, f := range factors {
+		m := eo.Mission{
+			SensingRateGbps:  5,
+			DownlinkRateGbps: 2,
+			StorageGb:        4000,
+			PreprocessFactor: f,
+			ProcessRateGbps:  8,
+		}
+		duty, err := m.MaxSensingDutyCycle(contactFraction)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, EOSweepRow{PreprocessFactor: f, SensingDuty: duty, DownlinkSavings: m.DownlinkSavingsFraction()})
+	}
+	return out, nil
+}

@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/constellation"
+	"repro/internal/geo"
+	"repro/internal/plot"
+	"repro/internal/units"
+	"repro/internal/visibility"
+)
+
+// LatitudeSweepConfig parameterises the Fig 1/2 sweeps.
+type LatitudeSweepConfig struct {
+	// Constellations to sweep (default: Starlink + Kuiper).
+	Constellations ConstellationSet
+	// LatStepDeg is the latitude grid step (default 1°).
+	LatStepDeg float64
+	// SampleEverySec and DurationSec define the time sampling (paper:
+	// every minute over two hours).
+	SampleEverySec, DurationSec float64
+	// LonDeg fixes the ground longitude (the sweep is longitude-invariant
+	// in distribution; the paper uses a fixed meridian).
+	LonDeg float64
+}
+
+func (c LatitudeSweepConfig) withDefaults() LatitudeSweepConfig {
+	if !c.Constellations.Starlink && !c.Constellations.Kuiper && !c.Constellations.Telesat {
+		c.Constellations = Both()
+	}
+	if c.LatStepDeg <= 0 {
+		c.LatStepDeg = 1
+	}
+	if c.SampleEverySec <= 0 {
+		c.SampleEverySec = 60
+	}
+	if c.DurationSec <= 0 {
+		c.DurationSec = 7200
+	}
+	return c
+}
+
+// Fig1Row is one latitude's result for one constellation.
+type Fig1Row struct {
+	LatDeg float64
+	// MinRTTMs is the max-over-time of the nearest-satellite RTT.
+	MinRTTMs float64
+	// MaxRTTMs is the max-over-time of the farthest-reachable RTT.
+	MaxRTTMs float64
+	// Covered is false when some sample instant had no reachable satellite.
+	Covered bool
+}
+
+// Fig1Result holds one constellation's curve.
+type Fig1Result struct {
+	Constellation string
+	Rows          []Fig1Row
+}
+
+// Series converts the result to plot series (uncovered rows skipped).
+func (r Fig1Result) Series() (minS, maxS plot.Series) {
+	minS.Name = r.Constellation + " min RTT"
+	maxS.Name = r.Constellation + " max RTT"
+	for _, row := range r.Rows {
+		if !row.Covered {
+			continue
+		}
+		minS.X = append(minS.X, row.LatDeg)
+		minS.Y = append(minS.Y, row.MinRTTMs)
+		maxS.X = append(maxS.X, row.LatDeg)
+		maxS.Y = append(maxS.Y, row.MaxRTTMs)
+	}
+	return minS, maxS
+}
+
+// Fig1 reproduces Figure 1: max and min RTT to reachable satellite-servers
+// versus ground latitude, worst case over the sampled window.
+func Fig1(cfg LatitudeSweepConfig) ([]Fig1Result, error) {
+	cfg = cfg.withDefaults()
+	consts, err := cfg.Constellations.build()
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig1Result
+	for _, c := range consts {
+		res, err := fig1One(c, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+func fig1One(c *constellation.Constellation, cfg LatitudeSweepConfig) (Fig1Result, error) {
+	obs := visibility.NewObserver(c)
+	steps := int(cfg.DurationSec/cfg.SampleEverySec) + 1
+	snapshots := make([][]geo.Vec3, steps)
+	for i := 0; i < steps; i++ {
+		snapshots[i] = c.Snapshot(float64(i) * cfg.SampleEverySec)
+	}
+	nLats := int(90/cfg.LatStepDeg) + 1
+	rows := make([]Fig1Row, nLats)
+	err := parallelFor(nLats, func(li int) error {
+		lat := float64(li) * cfg.LatStepDeg
+		g := geo.LatLon{LatDeg: lat, LonDeg: cfg.LonDeg}.ECEF()
+		row := Fig1Row{LatDeg: lat, Covered: true}
+		for _, snap := range snapshots {
+			near, far, ok := obs.NearestFarthest(g, snap)
+			if !ok {
+				row.Covered = false
+				break
+			}
+			row.MinRTTMs = math.Max(row.MinRTTMs, units.RTTMs(near))
+			row.MaxRTTMs = math.Max(row.MaxRTTMs, units.RTTMs(far))
+		}
+		rows[li] = row
+		return nil
+	})
+	if err != nil {
+		return Fig1Result{}, err
+	}
+	return Fig1Result{Constellation: c.Name, Rows: rows}, nil
+}
+
+// Fig2Row is one latitude's reachable-count statistics.
+type Fig2Row struct {
+	LatDeg             float64
+	MeanCount          float64
+	MinCount, MaxCount int
+}
+
+// Fig2Result holds one constellation's curve.
+type Fig2Result struct {
+	Constellation string
+	Rows          []Fig2Row
+}
+
+// Series converts the result to avg/min/max plot series.
+func (r Fig2Result) Series() (avg, minS, maxS plot.Series) {
+	avg.Name = r.Constellation + " avg"
+	minS.Name = r.Constellation + " min"
+	maxS.Name = r.Constellation + " max"
+	for _, row := range r.Rows {
+		avg.X = append(avg.X, row.LatDeg)
+		avg.Y = append(avg.Y, row.MeanCount)
+		minS.X = append(minS.X, row.LatDeg)
+		minS.Y = append(minS.Y, float64(row.MinCount))
+		maxS.X = append(maxS.X, row.LatDeg)
+		maxS.Y = append(maxS.Y, float64(row.MaxCount))
+	}
+	return avg, minS, maxS
+}
+
+// Fig2 reproduces Figure 2: the number of satellite-servers within range
+// versus latitude (average, minimum, and maximum across time).
+func Fig2(cfg LatitudeSweepConfig) ([]Fig2Result, error) {
+	cfg = cfg.withDefaults()
+	consts, err := cfg.Constellations.build()
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig2Result
+	for _, c := range consts {
+		obs := visibility.NewObserver(c)
+		steps := int(cfg.DurationSec/cfg.SampleEverySec) + 1
+		snapshots := make([][]geo.Vec3, steps)
+		for i := 0; i < steps; i++ {
+			snapshots[i] = c.Snapshot(float64(i) * cfg.SampleEverySec)
+		}
+		nLats := int(90/cfg.LatStepDeg) + 1
+		rows := make([]Fig2Row, nLats)
+		err := parallelFor(nLats, func(li int) error {
+			lat := float64(li) * cfg.LatStepDeg
+			g := geo.LatLon{LatDeg: lat, LonDeg: cfg.LonDeg}.ECEF()
+			row := Fig2Row{LatDeg: lat, MinCount: 1 << 30}
+			sum := 0
+			for _, snap := range snapshots {
+				n := obs.CountReachable(g, snap)
+				sum += n
+				if n < row.MinCount {
+					row.MinCount = n
+				}
+				if n > row.MaxCount {
+					row.MaxCount = n
+				}
+			}
+			row.MeanCount = float64(sum) / float64(len(snapshots))
+			rows[li] = row
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Fig2Result{Constellation: c.Name, Rows: rows})
+	}
+	return out, nil
+}
+
+// Fig1Check verifies the paper's prose claims against a Fig 1 result and
+// returns a human-readable summary (used by EXPERIMENTS.md generation).
+func Fig1Check(r Fig1Result) string {
+	worstNear, worstFar := 0.0, 0.0
+	for _, row := range r.Rows {
+		if !row.Covered {
+			continue
+		}
+		worstNear = math.Max(worstNear, row.MinRTTMs)
+		worstFar = math.Max(worstFar, row.MaxRTTMs)
+	}
+	return fmt.Sprintf("%s: nearest-satellite RTT <= %.1f ms everywhere covered; farthest-reachable <= %.1f ms",
+		r.Constellation, worstNear, worstFar)
+}

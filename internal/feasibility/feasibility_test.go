@@ -1,0 +1,164 @@
+package feasibility
+
+import (
+	"math"
+	"testing"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestPaperHeadlineNumbers(t *testing.T) {
+	// §4's summary quantities with the paper's defaults.
+	r, err := Analyze(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "the weight is 6% of a satellite's weight"
+	if !almostEq(r.WeightFraction, 0.06, 0.005) {
+		t.Errorf("weight fraction = %.3f, want ≈0.06", r.WeightFraction)
+	}
+	// "the volume is 1%"
+	if !almostEq(r.VolumeFraction, 0.01, 0.003) {
+		t.Errorf("volume fraction = %.3f, want ≈0.01", r.VolumeFraction)
+	}
+	// "operating at 225 W (350 W) would consume 15% (23%) of this power"
+	if !almostEq(r.PowerFractionTypical, 0.15, 0.005) {
+		t.Errorf("power fraction = %.3f, want 0.15", r.PowerFractionTypical)
+	}
+	if !almostEq(r.PowerFractionMax, 0.233, 0.005) {
+		t.Errorf("max power fraction = %.3f, want ≈0.23", r.PowerFractionMax)
+	}
+	// "the cost of launching the server is ~42,000 USD"
+	if math.Abs(r.LaunchCostUSD-42000) > 2000 {
+		t.Errorf("launch cost = %.0f, want ≈42,000", r.LaunchCostUSD)
+	}
+	// "roughly 3x as expensive as a data center server" over 3 years
+	if r.CostRatio < 2.5 || r.CostRatio > 4.5 {
+		t.Errorf("cost ratio = %.2f, want ≈3x", r.CostRatio)
+	}
+	// 550 km is below the inner Van Allen belt: commodity hardware viable.
+	if !r.CommodityHardwareOK {
+		t.Error("550 km should permit software-hardened commodity hardware")
+	}
+	if r.ServerLifeYears != 3 {
+		t.Errorf("service life = %v, want min(3,5)=3", r.ServerLifeYears)
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	base := Default()
+
+	s := base
+	s.Server.WeightKg = 0
+	if _, err := Analyze(s); err == nil {
+		t.Error("zero server weight accepted")
+	}
+
+	s = base
+	s.Satellite.VolumeL = 0
+	if _, err := Analyze(s); err == nil {
+		t.Error("zero satellite volume accepted")
+	}
+
+	s = base
+	s.DC.TCOPerServerYearUSD = 0
+	if _, err := Analyze(s); err == nil {
+		t.Error("zero DC TCO accepted")
+	}
+
+	s = base
+	s.Server.LifeYears = 0
+	s.Satellite.LifeYears = 0
+	if _, err := Analyze(s); err == nil {
+		t.Error("zero life accepted")
+	}
+
+	s = base
+	s.Power.BatteryEfficiency = 2
+	if _, err := Analyze(s); err == nil {
+		t.Error("bad power budget accepted")
+	}
+}
+
+func TestHigherOrbitLosesCommodityHardware(t *testing.T) {
+	s := Default()
+	s.Satellite.AltitudeKm = 1110 // above the 643 km inner-belt boundary
+	r, err := Analyze(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CommodityHardwareOK {
+		t.Fatal("1110 km should not be flagged commodity-safe")
+	}
+}
+
+func TestCostScalesWithLaunchPrice(t *testing.T) {
+	cheap := Default()
+	cheap.Launch.CostPerKg = 1000
+	expensive := Default()
+	expensive.Launch.CostPerKg = 10000
+	rc, err := Analyze(cheap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := Analyze(expensive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.CostRatio <= rc.CostRatio {
+		t.Fatal("higher launch price should raise the cost ratio")
+	}
+}
+
+func TestFleetSurvival(t *testing.T) {
+	// Zero failures → everyone alive.
+	if got, err := FleetSurvival(0, 5); err != nil || got != 1 {
+		t.Fatalf("FleetSurvival(0) = %v, %v", got, err)
+	}
+	// 10%/yr over 5-year life: average survival ≈ (1-0.9^5)/(5·ln(1/0.9))
+	got, err := FleetSurvival(0.1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (math.Pow(0.9, 5) - 1) / (math.Log(0.9) * 5)
+	if !almostEq(got, want, 1e-12) {
+		t.Fatalf("FleetSurvival = %v, want %v", got, want)
+	}
+	if got < 0.7 || got > 0.85 {
+		t.Fatalf("survival %v implausible for 10%%/yr", got)
+	}
+	// More failures → lower survival.
+	worse, err := FleetSurvival(0.3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worse >= got {
+		t.Fatal("higher failure rate should reduce survival")
+	}
+	// Validation.
+	if _, err := FleetSurvival(-0.1, 5); err == nil {
+		t.Error("negative probability accepted")
+	}
+	if _, err := FleetSurvival(1, 5); err == nil {
+		t.Error("certain failure accepted")
+	}
+	if _, err := FleetSurvival(0.1, 0); err == nil {
+		t.Error("zero life accepted")
+	}
+}
+
+func TestConstellationServerCount(t *testing.T) {
+	// The paper: Starlink at 40,000 satellites with one server each would
+	// be ~7x smaller than Akamai's ~325k-server CDN.
+	got := ConstellationServerCount(40000, 1)
+	if got != 40000 {
+		t.Fatalf("count = %d", got)
+	}
+	ratio := 325000.0 / float64(got)
+	if ratio < 6 || ratio > 9 {
+		t.Fatalf("Akamai ratio = %.1f, want ≈7-8x", ratio)
+	}
+	if ConstellationServerCount(-1, 1) != 0 || ConstellationServerCount(1, -1) != 0 {
+		t.Fatal("negative inputs should yield 0")
+	}
+}

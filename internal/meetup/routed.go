@@ -1,0 +1,142 @@
+package meetup
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geo"
+	"repro/internal/netgraph"
+)
+
+// RoutedPlacement is the result of meetup placement when users reach the
+// server over the constellation (uplink + ISL hops), so the server need not
+// sit in every user's footprint. This is the §3.2 regime for groups spread
+// across continents.
+type RoutedPlacement struct {
+	// SatID hosts the meetup server.
+	SatID int
+	// GroupRTTMs is the maximum round-trip latency over users.
+	GroupRTTMs float64
+	// PerUserRTTMs lists each user's RTT to the server.
+	PerUserRTTMs []float64
+}
+
+// SpreadMs returns the max-min RTT difference across users — the paper's
+// latency-consistency concern for competitive games.
+func (r RoutedPlacement) SpreadMs() float64 {
+	if len(r.PerUserRTTMs) == 0 {
+		return 0
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range r.PerUserRTTMs {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	return hi - lo
+}
+
+// BestRouted finds the satellite minimising the group's maximum routed RTT
+// at the snapshot. The network's ground stations must be exactly the user
+// terminals (in group order).
+func BestRouted(s *netgraph.Snapshot, users int) (RoutedPlacement, error) {
+	if users <= 0 {
+		return RoutedPlacement{}, fmt.Errorf("meetup: users must be positive")
+	}
+	// One Dijkstra per user gives latency to every satellite.
+	perUser := make([][]float64, users)
+	for u := 0; u < users; u++ {
+		perUser[u] = s.LatencyToAllSats(u)
+	}
+	sats := len(perUser[0])
+	best := RoutedPlacement{SatID: -1, GroupRTTMs: math.Inf(1)}
+	for id := 0; id < sats; id++ {
+		worst := 0.0
+		feasible := true
+		for u := 0; u < users; u++ {
+			ow := perUser[u][id]
+			if math.IsInf(ow, 1) {
+				feasible = false
+				break
+			}
+			if rtt := 2 * ow; rtt > worst {
+				worst = rtt
+			}
+		}
+		if feasible && worst < best.GroupRTTMs {
+			best.SatID = id
+			best.GroupRTTMs = worst
+		}
+	}
+	if best.SatID < 0 {
+		return RoutedPlacement{}, ErrNoCandidate
+	}
+	best.PerUserRTTMs = make([]float64, users)
+	for u := 0; u < users; u++ {
+		best.PerUserRTTMs[u] = 2 * perUser[u][best.SatID]
+	}
+	return best, nil
+}
+
+// TerrestrialPlacement is the baseline: the meetup server sits in a
+// terrestrial data center, and users reach it over the constellation
+// (the paper's "hybrid approach" in Fig 3).
+type TerrestrialPlacement struct {
+	// DCIndex is the chosen data-center ground index (see BestTerrestrial).
+	DCIndex int
+	// GroupRTTMs is the max RTT over users to that data center.
+	GroupRTTMs float64
+	// PerUserRTTMs lists each user's RTT.
+	PerUserRTTMs []float64
+}
+
+// BestTerrestrial picks the data-center ground station minimising the
+// group's max RTT. The network's grounds must be users followed by DC sites:
+// grounds[0:users] are user terminals, grounds[users:] are data centers.
+// The returned DCIndex is relative to the DC sub-slice.
+func BestTerrestrial(s *netgraph.Snapshot, users, dcs int) (TerrestrialPlacement, error) {
+	if users <= 0 || dcs <= 0 {
+		return TerrestrialPlacement{}, fmt.Errorf("meetup: users and dcs must be positive")
+	}
+	best := TerrestrialPlacement{DCIndex: -1, GroupRTTMs: math.Inf(1)}
+	rtts := make([][]float64, users) // per user: RTT to each DC
+	for u := 0; u < users; u++ {
+		rtts[u] = make([]float64, dcs)
+		for d := 0; d < dcs; d++ {
+			rtt, err := s.GroundToGroundRTTMs(u, users+d)
+			if err != nil {
+				rtt = math.Inf(1)
+			}
+			rtts[u][d] = rtt
+		}
+	}
+	for d := 0; d < dcs; d++ {
+		worst := 0.0
+		for u := 0; u < users; u++ {
+			if rtts[u][d] > worst {
+				worst = rtts[u][d]
+			}
+		}
+		if worst < best.GroupRTTMs {
+			best.DCIndex = d
+			best.GroupRTTMs = worst
+		}
+	}
+	if best.DCIndex < 0 || math.IsInf(best.GroupRTTMs, 1) {
+		return TerrestrialPlacement{}, ErrNoCandidate
+	}
+	best.PerUserRTTMs = make([]float64, users)
+	for u := 0; u < users; u++ {
+		best.PerUserRTTMs[u] = rtts[u][best.DCIndex]
+	}
+	return best, nil
+}
+
+// GroupNetwork builds a netgraph over the constellation with the given user
+// terminals (and optionally data-center sites) as ground stations, in the
+// layout BestRouted/BestTerrestrial expect.
+func GroupNetwork(p *Provider, users []geo.LatLon, dcSites []geo.LatLon) *netgraph.Network {
+	grounds := make([]geo.LatLon, 0, len(users)+len(dcSites))
+	grounds = append(grounds, users...)
+	grounds = append(grounds, dcSites...)
+	return netgraph.New(p.Constellation(), grounds)
+}

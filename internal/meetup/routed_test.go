@@ -1,0 +1,161 @@
+package meetup
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/constellation"
+	"repro/internal/geo"
+	"repro/internal/netgraph"
+)
+
+func routedNet(t *testing.T, users, dcs []geo.LatLon) *netgraph.Network {
+	t.Helper()
+	c, err := constellation.Build("r", []constellation.Shell{
+		{Name: "s", AltitudeKm: 550, InclinationDeg: 53, Planes: 24, SatsPerPlane: 24, PhaseFactor: 5, MinElevationDeg: 10},
+	}, constellation.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return GroupNetwork(NewProvider(c), users, dcs)
+}
+
+func TestBestRoutedSingleUser(t *testing.T) {
+	users := []geo.LatLon{{LatDeg: 20, LonDeg: 30}}
+	net := routedNet(t, users, nil)
+	snap := net.At(0)
+	placed, err := BestRouted(snap, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For one user the best routed server is the nearest visible
+	// satellite: RTT equals twice the one-hop latency.
+	if len(placed.PerUserRTTMs) != 1 || math.Abs(placed.PerUserRTTMs[0]-placed.GroupRTTMs) > 1e-9 {
+		t.Fatalf("single-user placement inconsistent: %+v", placed)
+	}
+	if placed.GroupRTTMs < 3.5 || placed.GroupRTTMs > 15 {
+		t.Fatalf("single-user RTT %v out of range", placed.GroupRTTMs)
+	}
+	if placed.SpreadMs() != 0 {
+		t.Fatalf("single-user spread %v", placed.SpreadMs())
+	}
+}
+
+func TestBestRoutedOptimality(t *testing.T) {
+	users := []geo.LatLon{
+		{LatDeg: 10, LonDeg: 0},
+		{LatDeg: -10, LonDeg: 40},
+	}
+	net := routedNet(t, users, nil)
+	snap := net.At(0)
+	placed, err := BestRouted(snap, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No satellite offers a lower max RTT: cross-check against the raw
+	// per-user latency vectors.
+	l0 := snap.LatencyToAllSats(0)
+	l1 := snap.LatencyToAllSats(1)
+	for id := range l0 {
+		if math.IsInf(l0[id], 1) || math.IsInf(l1[id], 1) {
+			continue
+		}
+		worst := 2 * math.Max(l0[id], l1[id])
+		if worst < placed.GroupRTTMs-1e-9 {
+			t.Fatalf("sat %d at %v ms beats placement %v ms", id, worst, placed.GroupRTTMs)
+		}
+	}
+	// Spread is consistent with the per-user values.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range placed.PerUserRTTMs {
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	if math.Abs(placed.SpreadMs()-(hi-lo)) > 1e-9 {
+		t.Fatalf("spread mismatch: %v vs %v", placed.SpreadMs(), hi-lo)
+	}
+}
+
+func TestBestRoutedValidation(t *testing.T) {
+	users := []geo.LatLon{{LatDeg: 0, LonDeg: 0}}
+	net := routedNet(t, users, nil)
+	if _, err := BestRouted(net.At(0), 0); err == nil {
+		t.Fatal("zero users accepted")
+	}
+}
+
+func TestBestRoutedNoCoverage(t *testing.T) {
+	users := []geo.LatLon{{LatDeg: 89.5, LonDeg: 0}}
+	net := routedNet(t, users, nil)
+	snap := net.At(0)
+	if len(snap.VisibleSats(0)) > 0 {
+		t.Skip("pole unexpectedly covered")
+	}
+	if _, err := BestRouted(snap, 1); !errors.Is(err, ErrNoCandidate) {
+		t.Fatalf("err = %v, want ErrNoCandidate", err)
+	}
+}
+
+func TestBestTerrestrial(t *testing.T) {
+	users := []geo.LatLon{
+		{LatDeg: 9.06, LonDeg: 7.49},
+		{LatDeg: 5.60, LonDeg: -0.19},
+	}
+	dcSites := []geo.LatLon{
+		{LatDeg: -26.20, LonDeg: 28.05}, // Johannesburg
+		{LatDeg: 50.11, LonDeg: 8.68},   // Frankfurt
+	}
+	net := routedNet(t, users, dcSites)
+	snap := net.At(0)
+	placed, err := BestTerrestrial(snap, len(users), len(dcSites))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if placed.DCIndex < 0 || placed.DCIndex >= len(dcSites) {
+		t.Fatalf("DCIndex = %d", placed.DCIndex)
+	}
+	if len(placed.PerUserRTTMs) != len(users) {
+		t.Fatalf("per-user list = %d", len(placed.PerUserRTTMs))
+	}
+	// The group RTT is the max of the per-user values.
+	worst := 0.0
+	for _, v := range placed.PerUserRTTMs {
+		worst = math.Max(worst, v)
+	}
+	if math.Abs(worst-placed.GroupRTTMs) > 1e-9 {
+		t.Fatalf("group RTT %v vs per-user max %v", placed.GroupRTTMs, worst)
+	}
+	// The alternative DC must not be better.
+	other := 1 - placed.DCIndex
+	otherWorst := 0.0
+	for u := range users {
+		rtt, err := snap.GroundToGroundRTTMs(u, len(users)+other)
+		if err != nil {
+			t.Fatal(err)
+		}
+		otherWorst = math.Max(otherWorst, rtt)
+	}
+	if otherWorst < placed.GroupRTTMs-1e-9 {
+		t.Fatalf("BestTerrestrial picked DC %d (%v ms) but DC %d has %v ms",
+			placed.DCIndex, placed.GroupRTTMs, other, otherWorst)
+	}
+	// In-orbit beats the terrestrial bounce for this regional group.
+	routed, err := BestRouted(snap, len(users))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if routed.GroupRTTMs >= placed.GroupRTTMs {
+		t.Fatalf("in-orbit %v ms should beat terrestrial %v ms", routed.GroupRTTMs, placed.GroupRTTMs)
+	}
+}
+
+func TestBestTerrestrialValidation(t *testing.T) {
+	users := []geo.LatLon{{LatDeg: 0, LonDeg: 0}}
+	net := routedNet(t, users, []geo.LatLon{{LatDeg: 10, LonDeg: 10}})
+	if _, err := BestTerrestrial(net.At(0), 0, 1); err == nil {
+		t.Fatal("zero users accepted")
+	}
+	if _, err := BestTerrestrial(net.At(0), 1, 0); err == nil {
+		t.Fatal("zero dcs accepted")
+	}
+}

@@ -1,0 +1,134 @@
+package migrate
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Wire protocol for real state transfers (used by cmd/meetupd): a tiny
+// framed format over any io stream (normally TCP):
+//
+//	magic   [4]byte  "IOSM" (In-Orbit State Migration)
+//	version uint8    (1)
+//	kind    uint8    frame kind
+//	length  uint32   payload byte count (big endian)
+//	payload [length]byte
+//	crc     uint32   CRC-32 (IEEE) of payload
+//
+// Frames are written atomically per call; the receiver validates magic,
+// version, and checksum.
+
+// FrameKind tags the payload semantics.
+type FrameKind uint8
+
+const (
+	// FrameSession carries session-specific state.
+	FrameSession FrameKind = 1
+	// FrameGeneric carries generic (pre-replicated) state.
+	FrameGeneric FrameKind = 2
+	// FrameCutover signals the handover point: the receiver becomes the
+	// authoritative server after this frame.
+	FrameCutover FrameKind = 3
+)
+
+var magic = [4]byte{'I', 'O', 'S', 'M'}
+
+const protocolVersion = 1
+
+// maxFrame bounds a frame payload (64 MiB) so a corrupted length cannot make
+// the receiver allocate unbounded memory.
+const maxFrame = 64 << 20
+
+// WriteFrame writes one frame to w.
+func WriteFrame(w io.Writer, kind FrameKind, payload []byte) error {
+	if len(payload) > maxFrame {
+		return fmt.Errorf("migrate: frame payload %d exceeds %d bytes", len(payload), maxFrame)
+	}
+	header := make([]byte, 10)
+	copy(header[:4], magic[:])
+	header[4] = protocolVersion
+	header[5] = byte(kind)
+	binary.BigEndian.PutUint32(header[6:10], uint32(len(payload)))
+	if _, err := w.Write(header); err != nil {
+		return fmt.Errorf("migrate: write header: %w", err)
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return fmt.Errorf("migrate: write payload: %w", err)
+		}
+	}
+	var crc [4]byte
+	binary.BigEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(crc[:]); err != nil {
+		return fmt.Errorf("migrate: write checksum: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads and validates one frame from r.
+func ReadFrame(r io.Reader) (FrameKind, []byte, error) {
+	header := make([]byte, 10)
+	if _, err := io.ReadFull(r, header); err != nil {
+		return 0, nil, err // propagate io.EOF unchanged for clean shutdown
+	}
+	if [4]byte(header[:4]) != magic {
+		return 0, nil, fmt.Errorf("migrate: bad magic %q", header[:4])
+	}
+	if header[4] != protocolVersion {
+		return 0, nil, fmt.Errorf("migrate: unsupported version %d", header[4])
+	}
+	kind := FrameKind(header[5])
+	length := binary.BigEndian.Uint32(header[6:10])
+	if length > maxFrame {
+		return 0, nil, fmt.Errorf("migrate: frame length %d exceeds %d", length, maxFrame)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("migrate: read payload: %w", err)
+	}
+	var crc [4]byte
+	if _, err := io.ReadFull(r, crc[:]); err != nil {
+		return 0, nil, fmt.Errorf("migrate: read checksum: %w", err)
+	}
+	if got, want := crc32.ChecksumIEEE(payload), binary.BigEndian.Uint32(crc[:]); got != want {
+		return 0, nil, fmt.Errorf("migrate: checksum mismatch (got %08x, want %08x)", got, want)
+	}
+	return kind, payload, nil
+}
+
+// SendState streams a full migration over w: generic state first (may be
+// empty), then session state, then the cut-over marker.
+func SendState(w io.Writer, generic, session []byte) error {
+	if len(generic) > 0 {
+		if err := WriteFrame(w, FrameGeneric, generic); err != nil {
+			return err
+		}
+	}
+	if err := WriteFrame(w, FrameSession, session); err != nil {
+		return err
+	}
+	return WriteFrame(w, FrameCutover, nil)
+}
+
+// ReceiveState consumes frames until the cut-over marker and returns the
+// reassembled generic and session state.
+func ReceiveState(r io.Reader) (generic, session []byte, err error) {
+	for {
+		kind, payload, err := ReadFrame(r)
+		if err != nil {
+			return nil, nil, err
+		}
+		switch kind {
+		case FrameGeneric:
+			generic = append(generic, payload...)
+		case FrameSession:
+			session = append(session, payload...)
+		case FrameCutover:
+			return generic, session, nil
+		default:
+			return nil, nil, fmt.Errorf("migrate: unknown frame kind %d", kind)
+		}
+	}
+}

@@ -1,0 +1,350 @@
+// Package netgraph models the time-varying LEO network as a weighted graph:
+// satellites joined by +grid inter-satellite links, ground stations joined
+// to every satellite they can currently see. Edge weights are one-way
+// propagation delays in milliseconds, matching the paper's
+// propagation-only latency accounting.
+package netgraph
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"repro/internal/constellation"
+	"repro/internal/geo"
+	"repro/internal/isl"
+	"repro/internal/units"
+	"repro/internal/visibility"
+)
+
+// NodeID identifies a node: satellite IDs are [0, Sats); ground stations
+// follow at [Sats, Sats+Grounds).
+type NodeID int
+
+// Network is the static description: constellation + ISL grid + ground
+// station sites. Build snapshots with At.
+type Network struct {
+	Constellation *constellation.Constellation
+	Grid          *isl.Grid
+	Observer      *visibility.Observer
+	Grounds       []geo.LatLon
+
+	groundECEF []geo.Vec3
+}
+
+// New assembles a network over the constellation with a +grid ISL topology
+// and the given ground stations.
+func New(c *constellation.Constellation, grounds []geo.LatLon) *Network {
+	n := &Network{
+		Constellation: c,
+		Grid:          isl.NewPlusGrid(c),
+		Observer:      visibility.NewObserver(c),
+		Grounds:       grounds,
+		groundECEF:    make([]geo.Vec3, len(grounds)),
+	}
+	for i, g := range grounds {
+		n.groundECEF[i] = g.ECEF()
+	}
+	return n
+}
+
+// Sats returns the number of satellite nodes.
+func (n *Network) Sats() int { return n.Constellation.Size() }
+
+// Nodes returns the total node count.
+func (n *Network) Nodes() int { return n.Constellation.Size() + len(n.Grounds) }
+
+// SatNode converts a satellite ID to a NodeID.
+func (n *Network) SatNode(satID int) NodeID { return NodeID(satID) }
+
+// GroundNode converts a ground-station index to a NodeID.
+func (n *Network) GroundNode(i int) NodeID { return NodeID(n.Sats() + i) }
+
+// IsSat reports whether id is a satellite node.
+func (n *Network) IsSat(id NodeID) bool { return int(id) < n.Sats() }
+
+// Snapshot freezes the network at one instant; all routing queries run
+// against a snapshot.
+type Snapshot struct {
+	net  *Network
+	tSec float64
+	// satPos[id] is the ECEF position of satellite id.
+	satPos []geo.Vec3
+}
+
+// At builds a snapshot at t seconds after epoch.
+func (n *Network) At(tSec float64) *Snapshot {
+	return &Snapshot{net: n, tSec: tSec, satPos: n.Constellation.Snapshot(tSec)}
+}
+
+// Time returns the snapshot time in seconds after epoch.
+func (s *Snapshot) Time() float64 { return s.tSec }
+
+// SatPositions returns the satellite position slice (shared; do not mutate).
+func (s *Snapshot) SatPositions() []geo.Vec3 { return s.satPos }
+
+// Position returns the ECEF position of any node.
+func (s *Snapshot) Position(id NodeID) geo.Vec3 {
+	if s.net.IsSat(id) {
+		return s.satPos[id]
+	}
+	return s.net.groundECEF[int(id)-s.net.Sats()]
+}
+
+// VisibleSats returns the satellite IDs currently reachable from ground
+// station gi.
+func (s *Snapshot) VisibleSats(gi int) []int {
+	var out []int
+	g := s.net.groundECEF[gi]
+	for id, pos := range s.satPos {
+		if s.net.Observer.Visible(g, id, pos) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// edgeIter calls fn(neighbour, oneWayMs) for every edge leaving node id.
+func (s *Snapshot) edgeIter(id NodeID, fn func(NodeID, float64)) {
+	sats := s.net.Sats()
+	if s.net.IsSat(id) {
+		sat := int(id)
+		for _, nb := range s.net.Grid.Neighbors(sat) {
+			fn(NodeID(nb), units.PropagationDelayMs(s.satPos[sat].Distance(s.satPos[nb])))
+		}
+		// Downlinks to every ground station that can see this satellite.
+		for gi, g := range s.net.groundECEF {
+			if s.net.Observer.Visible(g, sat, s.satPos[sat]) {
+				fn(NodeID(sats+gi), units.PropagationDelayMs(g.Distance(s.satPos[sat])))
+			}
+		}
+		return
+	}
+	gi := int(id) - sats
+	g := s.net.groundECEF[gi]
+	for satID, pos := range s.satPos {
+		if s.net.Observer.Visible(g, satID, pos) {
+			fn(NodeID(satID), units.PropagationDelayMs(g.Distance(pos)))
+		}
+	}
+}
+
+// ErrNoPath is returned when two nodes are not connected at the snapshot.
+var ErrNoPath = fmt.Errorf("netgraph: no path")
+
+// Path is a routed path with its one-way latency.
+type Path struct {
+	// Nodes from source to destination inclusive.
+	Nodes []NodeID
+	// OneWayMs is the summed propagation delay.
+	OneWayMs float64
+}
+
+// RTTMs returns the round-trip latency of the path.
+func (p Path) RTTMs() float64 { return 2 * p.OneWayMs }
+
+// Hops returns the number of edges on the path.
+func (p Path) Hops() int {
+	if len(p.Nodes) == 0 {
+		return 0
+	}
+	return len(p.Nodes) - 1
+}
+
+type pqItem struct {
+	node NodeID
+	dist float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int           { return len(q) }
+func (q pq) Less(i, j int) bool { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x any)        { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() any          { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
+
+// ShortestPath runs Dijkstra from src to dst over the snapshot and returns
+// the minimum-propagation-delay path.
+func (s *Snapshot) ShortestPath(src, dst NodeID) (Path, error) {
+	nNodes := s.net.Nodes()
+	if int(src) < 0 || int(src) >= nNodes || int(dst) < 0 || int(dst) >= nNodes {
+		return Path{}, fmt.Errorf("netgraph: node out of range (src=%d dst=%d nodes=%d)", src, dst, nNodes)
+	}
+	if src == dst {
+		return Path{Nodes: []NodeID{src}}, nil
+	}
+	dist := make([]float64, nNodes)
+	prev := make([]NodeID, nNodes)
+	done := make([]bool, nNodes)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = -1
+	}
+	dist[src] = 0
+	q := &pq{{node: src}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		if done[it.node] {
+			continue
+		}
+		done[it.node] = true
+		if it.node == dst {
+			break
+		}
+		s.edgeIter(it.node, func(nb NodeID, w float64) {
+			if done[nb] {
+				return
+			}
+			if nd := it.dist + w; nd < dist[nb] {
+				dist[nb] = nd
+				prev[nb] = it.node
+				heap.Push(q, pqItem{node: nb, dist: nd})
+			}
+		})
+	}
+	if math.IsInf(dist[dst], 1) {
+		return Path{}, ErrNoPath
+	}
+	// Reconstruct.
+	var rev []NodeID
+	for at := dst; at != -1; at = prev[at] {
+		rev = append(rev, at)
+	}
+	nodes := make([]NodeID, len(rev))
+	for i := range rev {
+		nodes[i] = rev[len(rev)-1-i]
+	}
+	return Path{Nodes: nodes, OneWayMs: dist[dst]}, nil
+}
+
+// SatToSatLatencyMs returns the one-way latency between two satellites over
+// the ISL grid (no ground bounce).
+func (s *Snapshot) SatToSatLatencyMs(a, b int) (float64, error) {
+	p, err := ISLShortest(s.net.Grid, s.satPos, a, b)
+	if err != nil {
+		return 0, err
+	}
+	return p.OneWayMs, nil
+}
+
+// ISLPath returns the shortest ISL-only path between two satellites.
+func (s *Snapshot) ISLPath(a, b int) (Path, error) {
+	return ISLShortest(s.net.Grid, s.satPos, a, b)
+}
+
+// ISLShortest runs Dijkstra over the ISL grid alone, with positions given by
+// satPos (indexed by satellite ID). It is the standalone form used by
+// packages that manage their own snapshots (meetup, migrate).
+func ISLShortest(g *isl.Grid, satPos []geo.Vec3, a, b int) (Path, error) {
+	sats := len(satPos)
+	if a < 0 || a >= sats || b < 0 || b >= sats {
+		return Path{}, fmt.Errorf("netgraph: satellite out of range (a=%d b=%d sats=%d)", a, b, sats)
+	}
+	if a == b {
+		return Path{Nodes: []NodeID{NodeID(a)}}, nil
+	}
+	dist := make([]float64, sats)
+	prev := make([]int, sats)
+	done := make([]bool, sats)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = -1
+	}
+	dist[a] = 0
+	q := &pq{{node: NodeID(a)}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		u := int(it.node)
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		if u == b {
+			break
+		}
+		for _, nb := range g.Neighbors(u) {
+			if done[nb] {
+				continue
+			}
+			w := units.PropagationDelayMs(satPos[u].Distance(satPos[nb]))
+			if nd := it.dist + w; nd < dist[nb] {
+				dist[nb] = nd
+				prev[nb] = u
+				heap.Push(q, pqItem{node: NodeID(nb), dist: nd})
+			}
+		}
+	}
+	if math.IsInf(dist[b], 1) {
+		return Path{}, ErrNoPath
+	}
+	var rev []NodeID
+	for at := b; at != -1; at = prev[at] {
+		rev = append(rev, NodeID(at))
+	}
+	nodes := make([]NodeID, len(rev))
+	for i := range rev {
+		nodes[i] = rev[len(rev)-1-i]
+	}
+	return Path{Nodes: nodes, OneWayMs: dist[b]}, nil
+}
+
+// LatencyToAllSats returns the one-way latency in milliseconds from ground
+// station gi to every satellite (indexed by satellite ID), +Inf where no
+// path exists. One Dijkstra pass; used by routed meetup-server selection
+// where the server need not be directly visible to every user.
+func (s *Snapshot) LatencyToAllSats(gi int) []float64 {
+	nNodes := s.net.Nodes()
+	dist := make([]float64, nNodes)
+	done := make([]bool, nNodes)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	src := s.net.GroundNode(gi)
+	dist[src] = 0
+	q := &pq{{node: src}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		if done[it.node] {
+			continue
+		}
+		done[it.node] = true
+		s.edgeIter(it.node, func(nb NodeID, w float64) {
+			if done[nb] {
+				return
+			}
+			if nd := it.dist + w; nd < dist[nb] {
+				dist[nb] = nd
+				heap.Push(q, pqItem{node: nb, dist: nd})
+			}
+		})
+	}
+	return dist[:s.net.Sats()]
+}
+
+// GroundToGroundRTTMs returns the round-trip latency between two ground
+// stations routed up-ISL-down over the snapshot.
+func (s *Snapshot) GroundToGroundRTTMs(gi, gj int) (float64, error) {
+	p, err := s.ShortestPath(s.net.GroundNode(gi), s.net.GroundNode(gj))
+	if err != nil {
+		return 0, err
+	}
+	return p.RTTMs(), nil
+}
+
+// GroundToSatRTTMs returns the round-trip latency from ground station gi to
+// satellite satID, routed over the constellation if the satellite is not in
+// direct view.
+func (s *Snapshot) GroundToSatRTTMs(gi, satID int) (float64, error) {
+	p, err := s.ShortestPath(s.net.GroundNode(gi), s.net.SatNode(satID))
+	if err != nil {
+		return 0, err
+	}
+	return p.RTTMs(), nil
+}
+
+// LineOfSightMs returns the direct free-space one-way latency between two
+// nodes, ignoring topology. Used by the ISL-vs-LoS ablation.
+func (s *Snapshot) LineOfSightMs(a, b NodeID) float64 {
+	return units.PropagationDelayMs(s.Position(a).Distance(s.Position(b)))
+}

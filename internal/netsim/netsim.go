@@ -1,0 +1,212 @@
+// Package netsim is a small discrete-event simulation engine: an event
+// queue with deterministic ordering, plus capacity-constrained resources
+// (links, processors) modelled as FIFO servers. The Earth-observation
+// experiments (§3.3) and the migration timing studies run on it.
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Event is a scheduled callback.
+type Event struct {
+	time float64
+	seq  uint64 // tie-break: schedule order, keeping runs deterministic
+	fn   func()
+	idx  int
+	dead bool
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	e.idx = -1
+	return e
+}
+
+// Sim is the simulation kernel. The zero value is not usable; call New.
+type Sim struct {
+	now    float64
+	seq    uint64
+	events eventHeap
+	ran    int
+}
+
+// New creates a simulator starting at time 0.
+func New() *Sim { return &Sim{} }
+
+// Now returns the current simulation time in seconds.
+func (s *Sim) Now() float64 { return s.now }
+
+// EventsRun returns how many events have fired.
+func (s *Sim) EventsRun() int { return s.ran }
+
+// At schedules fn at an absolute time (>= Now). It returns the event, which
+// can be cancelled.
+func (s *Sim) At(t float64, fn func()) (*Event, error) {
+	if t < s.now {
+		return nil, fmt.Errorf("netsim: cannot schedule at %v before now %v", t, s.now)
+	}
+	if fn == nil {
+		return nil, fmt.Errorf("netsim: nil event function")
+	}
+	e := &Event{time: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, e)
+	return e, nil
+}
+
+// After schedules fn delay seconds from now.
+func (s *Sim) After(delay float64, fn func()) (*Event, error) {
+	if delay < 0 {
+		return nil, fmt.Errorf("netsim: negative delay %v", delay)
+	}
+	return s.At(s.now+delay, fn)
+}
+
+// Cancel removes a pending event; cancelling an already-fired or already-
+// cancelled event is a no-op.
+func (s *Sim) Cancel(e *Event) {
+	if e == nil || e.dead || e.idx < 0 {
+		if e != nil {
+			e.dead = true
+		}
+		return
+	}
+	e.dead = true
+	heap.Remove(&s.events, e.idx)
+}
+
+// Run executes events until the queue empties or the horizon is passed.
+// Events scheduled during execution run too. Returns the final time.
+func (s *Sim) Run(horizon float64) float64 {
+	for len(s.events) > 0 {
+		next := s.events[0]
+		if next.time > horizon {
+			break
+		}
+		heap.Pop(&s.events)
+		if next.dead {
+			continue
+		}
+		s.now = next.time
+		s.ran++
+		next.fn()
+	}
+	if s.now < horizon && !math.IsInf(horizon, 1) {
+		s.now = horizon
+	}
+	return s.now
+}
+
+// RunAll executes until no events remain.
+func (s *Sim) RunAll() float64 { return s.Run(math.Inf(1)) }
+
+// Pending returns the number of queued (uncancelled) events.
+func (s *Sim) Pending() int {
+	n := 0
+	for _, e := range s.events {
+		if !e.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// Resource is a FIFO server with a fixed service rate (units/second): a
+// radio downlink, a laser ISL, or a satellite CPU. Jobs queue and are
+// serviced in order; each job occupies the resource for size/rate seconds.
+type Resource struct {
+	sim  *Sim
+	name string
+	rate float64
+
+	busyUntil float64
+	// accounting
+	served    int
+	busyTime  float64
+	queuedMax int
+	queuedNow int
+}
+
+// NewResource creates a resource served at rate units/second.
+func NewResource(sim *Sim, name string, rate float64) (*Resource, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("netsim: resource %q rate must be positive, got %v", name, rate)
+	}
+	return &Resource{sim: sim, name: name, rate: rate}, nil
+}
+
+// Name returns the resource label.
+func (r *Resource) Name() string { return r.name }
+
+// Rate returns the service rate.
+func (r *Resource) Rate() float64 { return r.rate }
+
+// Submit enqueues a job of the given size; done (optional) fires when the
+// job finishes, receiving the completion time. Returns the predicted
+// completion time.
+func (r *Resource) Submit(size float64, done func(finish float64)) (float64, error) {
+	if size < 0 {
+		return 0, fmt.Errorf("netsim: negative job size %v", size)
+	}
+	start := math.Max(r.sim.Now(), r.busyUntil)
+	finish := start + size/r.rate
+	r.busyUntil = finish
+	r.busyTime += size / r.rate
+	r.served++
+	r.queuedNow++
+	if r.queuedNow > r.queuedMax {
+		r.queuedMax = r.queuedNow
+	}
+	_, err := r.sim.At(finish, func() {
+		r.queuedNow--
+		if done != nil {
+			done(finish)
+		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	return finish, nil
+}
+
+// Utilization returns the fraction of [0, Now] the resource spent serving.
+func (r *Resource) Utilization() float64 {
+	if r.sim.Now() == 0 {
+		return 0
+	}
+	return math.Min(1, r.busyTime/r.sim.Now())
+}
+
+// Served returns the number of jobs submitted so far.
+func (r *Resource) Served() int { return r.served }
+
+// MaxQueue returns the largest number of jobs simultaneously in the system.
+func (r *Resource) MaxQueue() int { return r.queuedMax }
+
+// BusyUntil returns when the resource frees up given current commitments.
+func (r *Resource) BusyUntil() float64 { return r.busyUntil }

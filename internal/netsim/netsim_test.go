@@ -1,0 +1,225 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New()
+	var order []int
+	mustAt := func(tm float64, id int) {
+		t.Helper()
+		if _, err := s.At(tm, func() { order = append(order, id) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAt(3, 3)
+	mustAt(1, 1)
+	mustAt(2, 2)
+	// Same time: schedule order wins.
+	mustAt(2, 4)
+	s.RunAll()
+	want := []int{1, 2, 4, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if s.EventsRun() != 4 {
+		t.Fatalf("EventsRun = %d", s.EventsRun())
+	}
+}
+
+func TestScheduleDuringRun(t *testing.T) {
+	s := New()
+	var times []float64
+	if _, err := s.At(1, func() {
+		times = append(times, s.Now())
+		if _, err := s.After(0.5, func() { times = append(times, s.Now()) }); err != nil {
+			t.Error(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.RunAll()
+	if len(times) != 2 || times[0] != 1 || times[1] != 1.5 {
+		t.Fatalf("times = %v", times)
+	}
+}
+
+func TestHorizonStopsEarly(t *testing.T) {
+	s := New()
+	fired := false
+	if _, err := s.At(10, func() { fired = true }); err != nil {
+		t.Fatal(err)
+	}
+	end := s.Run(5)
+	if fired {
+		t.Fatal("event beyond horizon fired")
+	}
+	if end != 5 {
+		t.Fatalf("Run returned %v, want horizon 5", end)
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("Pending = %d", s.Pending())
+	}
+	// Continue past it.
+	s.Run(20)
+	if !fired {
+		t.Fatal("event did not fire after extending horizon")
+	}
+}
+
+func TestPastSchedulingRejected(t *testing.T) {
+	s := New()
+	if _, err := s.At(5, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	s.RunAll()
+	if s.Now() != 5 {
+		t.Fatalf("Now = %v", s.Now())
+	}
+	if _, err := s.At(1, func() {}); err == nil {
+		t.Fatal("past scheduling accepted")
+	}
+	if _, err := s.After(-1, func() {}); err == nil {
+		t.Fatal("negative delay accepted")
+	}
+	if _, err := s.At(6, nil); err == nil {
+		t.Fatal("nil fn accepted")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	e, err := s.At(1, func() { fired = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Cancel(e)
+	s.Cancel(e) // double cancel is a no-op
+	s.Cancel(nil)
+	s.RunAll()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if s.EventsRun() != 0 {
+		t.Fatalf("EventsRun = %d", s.EventsRun())
+	}
+}
+
+func TestResourceFIFO(t *testing.T) {
+	s := New()
+	r, err := NewResource(s, "downlink", 10) // 10 units/s
+	if err != nil {
+		t.Fatal(err)
+	}
+	var finishes []float64
+	submit := func(size float64) {
+		t.Helper()
+		if _, err := r.Submit(size, func(f float64) { finishes = append(finishes, f) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	submit(20) // 2 s
+	submit(10) // queues: finishes at 3 s
+	submit(5)  // finishes at 3.5 s
+	s.RunAll()
+	want := []float64{2, 3, 3.5}
+	for i := range want {
+		if math.Abs(finishes[i]-want[i]) > 1e-9 {
+			t.Fatalf("finishes = %v, want %v", finishes, want)
+		}
+	}
+	if r.Served() != 3 {
+		t.Fatalf("Served = %d", r.Served())
+	}
+	if r.MaxQueue() != 3 {
+		t.Fatalf("MaxQueue = %d", r.MaxQueue())
+	}
+	if got := r.Utilization(); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("Utilization = %v, want 1 (fully busy)", got)
+	}
+	if r.Name() != "downlink" || r.Rate() != 10 {
+		t.Fatal("accessors wrong")
+	}
+}
+
+func TestResourceIdleGaps(t *testing.T) {
+	s := New()
+	r, err := NewResource(s, "cpu", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Job arrives later via a scheduled event; resource idles until then.
+	if _, err := s.At(5, func() {
+		if _, err := r.Submit(2, nil); err != nil {
+			t.Error(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.RunAll()
+	if s.Now() != 7 {
+		t.Fatalf("Now = %v, want 7", s.Now())
+	}
+	if got := r.Utilization(); math.Abs(got-2.0/7) > 1e-9 {
+		t.Fatalf("Utilization = %v, want 2/7", got)
+	}
+}
+
+func TestResourcePredictedFinish(t *testing.T) {
+	s := New()
+	r, _ := NewResource(s, "link", 100)
+	f1, err := r.Submit(50, nil)
+	if err != nil || f1 != 0.5 {
+		t.Fatalf("f1 = %v, %v", f1, err)
+	}
+	f2, err := r.Submit(100, nil)
+	if err != nil || f2 != 1.5 {
+		t.Fatalf("f2 = %v, %v", f2, err)
+	}
+	if r.BusyUntil() != 1.5 {
+		t.Fatalf("BusyUntil = %v", r.BusyUntil())
+	}
+}
+
+func TestResourceValidation(t *testing.T) {
+	s := New()
+	if _, err := NewResource(s, "x", 0); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	r, _ := NewResource(s, "x", 1)
+	if _, err := r.Submit(-1, nil); err == nil {
+		t.Fatal("negative size accepted")
+	}
+}
+
+func TestManyEventsDeterministic(t *testing.T) {
+	run := func() []float64 {
+		s := New()
+		var out []float64
+		for i := 0; i < 1000; i++ {
+			tm := float64((i * 7919) % 100)
+			if _, err := s.At(tm, func() { out = append(out, s.Now()) }); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.RunAll()
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic at %d", i)
+		}
+	}
+	// Monotone non-decreasing times.
+	for i := 1; i < len(a); i++ {
+		if a[i] < a[i-1] {
+			t.Fatal("time went backwards")
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package orbit
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geo"
+	"repro/internal/units"
+)
+
+// EllipticalElements describes a general closed orbit. The mega-
+// constellation shells are circular, but imported TLEs (ISS, imaging
+// satellites) carry small eccentricities; this propagator handles them
+// exactly via the Kepler equation.
+type EllipticalElements struct {
+	// SemiMajorAxisKm is the orbit's semi-major axis.
+	SemiMajorAxisKm float64
+	// Eccentricity in [0, 1).
+	Eccentricity float64
+	// InclinationDeg, RAANDeg, ArgPerigeeDeg are the usual angles.
+	InclinationDeg, RAANDeg, ArgPerigeeDeg float64
+	// MeanAnomalyDeg at epoch.
+	MeanAnomalyDeg float64
+}
+
+// Validate reports whether the elements describe a bound orbit above the
+// surface.
+func (e EllipticalElements) Validate() error {
+	if e.Eccentricity < 0 || e.Eccentricity >= 1 {
+		return fmt.Errorf("orbit: eccentricity %v outside [0,1)", e.Eccentricity)
+	}
+	if e.SemiMajorAxisKm <= 0 {
+		return fmt.Errorf("orbit: non-positive semi-major axis %v", e.SemiMajorAxisKm)
+	}
+	if peri := e.PerigeeKm(); peri < units.EarthRadiusKm {
+		return fmt.Errorf("orbit: perigee %v km below the surface", peri-units.EarthRadiusKm)
+	}
+	if e.InclinationDeg < 0 || e.InclinationDeg > 180 {
+		return fmt.Errorf("orbit: inclination %v outside [0,180]", e.InclinationDeg)
+	}
+	return nil
+}
+
+// PerigeeKm returns the perigee radius (from the Earth's centre).
+func (e EllipticalElements) PerigeeKm() float64 {
+	return e.SemiMajorAxisKm * (1 - e.Eccentricity)
+}
+
+// ApogeeKm returns the apogee radius.
+func (e EllipticalElements) ApogeeKm() float64 {
+	return e.SemiMajorAxisKm * (1 + e.Eccentricity)
+}
+
+// PeriodSec returns the orbital period.
+func (e EllipticalElements) PeriodSec() float64 {
+	a := e.SemiMajorAxisKm
+	return 2 * math.Pi * math.Sqrt(a*a*a/units.EarthMuKm3S2)
+}
+
+// FromCircular lifts circular elements into the general form.
+func FromCircular(c Elements) EllipticalElements {
+	return EllipticalElements{
+		SemiMajorAxisKm: c.SemiMajorAxisKm(),
+		Eccentricity:    0,
+		InclinationDeg:  c.InclinationDeg,
+		RAANDeg:         c.RAANDeg,
+		ArgPerigeeDeg:   0,
+		MeanAnomalyDeg:  c.ArgLatDeg,
+	}
+}
+
+// SolveKepler solves Kepler's equation M = E − e·sin(E) for the eccentric
+// anomaly E (radians), given mean anomaly M (radians) and eccentricity e.
+// Newton iteration with a series starter; converges to 1e-12 for e < 0.99.
+func SolveKepler(M, e float64) float64 {
+	M = math.Mod(M, 2*math.Pi)
+	if M < 0 {
+		M += 2 * math.Pi
+	}
+	// Starter: E ≈ M + e·sin(M) works well for small-to-moderate e.
+	E := M + e*math.Sin(M)
+	for i := 0; i < 30; i++ {
+		f := E - e*math.Sin(E) - M
+		fp := 1 - e*math.Cos(E)
+		d := f / fp
+		E -= d
+		if math.Abs(d) < 1e-13 {
+			break
+		}
+	}
+	return E
+}
+
+// TrueAnomalyFromEccentric converts eccentric anomaly to true anomaly.
+func TrueAnomalyFromEccentric(E, e float64) float64 {
+	s := math.Sqrt(1+e) * math.Sin(E/2)
+	c := math.Sqrt(1-e) * math.Cos(E/2)
+	return 2 * math.Atan2(s, c)
+}
+
+// EllipticalPropagator propagates general closed orbits.
+type EllipticalPropagator struct {
+	e        EllipticalElements
+	meanRate float64
+	m0       float64
+}
+
+// NewEllipticalPropagator builds a propagator for the elements.
+func NewEllipticalPropagator(e EllipticalElements) (*EllipticalPropagator, error) {
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	return &EllipticalPropagator{
+		e:        e,
+		meanRate: 2 * math.Pi / e.PeriodSec(),
+		m0:       units.Deg2Rad(e.MeanAnomalyDeg),
+	}, nil
+}
+
+// Elements returns the epoch elements.
+func (p *EllipticalPropagator) Elements() EllipticalElements { return p.e }
+
+// ECIAt returns the inertial position at t seconds after epoch.
+func (p *EllipticalPropagator) ECIAt(tSec float64) geo.Vec3 {
+	M := p.m0 + p.meanRate*tSec
+	E := SolveKepler(M, p.e.Eccentricity)
+	nu := TrueAnomalyFromEccentric(E, p.e.Eccentricity)
+	r := p.e.SemiMajorAxisKm * (1 - p.e.Eccentricity*math.Cos(E))
+
+	// Perifocal → ECI rotation.
+	u := units.Deg2Rad(p.e.ArgPerigeeDeg) + nu
+	su, cu := math.Sincos(u)
+	sR, cR := math.Sincos(units.Deg2Rad(p.e.RAANDeg))
+	si, ci := math.Sincos(units.Deg2Rad(p.e.InclinationDeg))
+	return geo.Vec3{
+		X: r * (cR*cu - sR*su*ci),
+		Y: r * (sR*cu + cR*su*ci),
+		Z: r * (su * si),
+	}
+}
+
+// ECEFAt returns the Earth-fixed position at t seconds after epoch with the
+// same GMST(0)=0 convention as the circular propagator.
+func (p *EllipticalPropagator) ECEFAt(tSec float64) geo.Vec3 {
+	return p.ECIAt(tSec).RotateZ(-units.EarthRotationRadS * tSec)
+}
+
+// RadiusAt returns the geocentric distance at t seconds after epoch.
+func (p *EllipticalPropagator) RadiusAt(tSec float64) float64 {
+	M := p.m0 + p.meanRate*tSec
+	E := SolveKepler(M, p.e.Eccentricity)
+	return p.e.SemiMajorAxisKm * (1 - p.e.Eccentricity*math.Cos(E))
+}
+
+// VisVivaSpeedKmS returns the orbital speed at radius r (vis-viva).
+func (e EllipticalElements) VisVivaSpeedKmS(rKm float64) float64 {
+	return math.Sqrt(units.EarthMuKm3S2 * (2/rKm - 1/e.SemiMajorAxisKm))
+}

@@ -1,0 +1,205 @@
+package orbit
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func TestEllipticalValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		e    EllipticalElements
+		ok   bool
+	}{
+		{"circular-leo", EllipticalElements{SemiMajorAxisKm: 6928, InclinationDeg: 53}, true},
+		{"molniya-ish", EllipticalElements{SemiMajorAxisKm: 26600, Eccentricity: 0.74, InclinationDeg: 63.4}, true},
+		{"hyperbolic", EllipticalElements{SemiMajorAxisKm: 6928, Eccentricity: 1.0}, false},
+		{"negative-e", EllipticalElements{SemiMajorAxisKm: 6928, Eccentricity: -0.1}, false},
+		{"zero-sma", EllipticalElements{SemiMajorAxisKm: 0}, false},
+		{"subsurface-perigee", EllipticalElements{SemiMajorAxisKm: 6928, Eccentricity: 0.2}, false},
+		{"bad-inc", EllipticalElements{SemiMajorAxisKm: 6928, InclinationDeg: 200}, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.e.Validate(); (err == nil) != tc.ok {
+				t.Fatalf("Validate = %v, want ok=%v", err, tc.ok)
+			}
+		})
+	}
+}
+
+func TestSolveKeplerIdentity(t *testing.T) {
+	// E - e·sin(E) must reproduce M.
+	f := func(mSeed, eSeed uint16) bool {
+		M := float64(mSeed) / 65535 * 2 * math.Pi
+		e := float64(eSeed) / 65535 * 0.95
+		E := SolveKepler(M, e)
+		back := E - e*math.Sin(E)
+		diff := math.Mod(back-M, 2*math.Pi)
+		if diff > math.Pi {
+			diff -= 2 * math.Pi
+		}
+		if diff < -math.Pi {
+			diff += 2 * math.Pi
+		}
+		return math.Abs(diff) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveKeplerCircular(t *testing.T) {
+	// e=0: E == M.
+	for _, m := range []float64{0, 1, math.Pi, 5} {
+		if got := SolveKepler(m, 0); math.Abs(got-math.Mod(m, 2*math.Pi)) > 1e-12 {
+			t.Fatalf("SolveKepler(%v, 0) = %v", m, got)
+		}
+	}
+}
+
+func TestTrueAnomalySymmetry(t *testing.T) {
+	// At E=0 (perigee) and E=π (apogee) true anomaly matches exactly.
+	for _, e := range []float64{0, 0.1, 0.7} {
+		if nu := TrueAnomalyFromEccentric(0, e); math.Abs(nu) > 1e-12 {
+			t.Fatalf("perigee true anomaly = %v", nu)
+		}
+		if nu := TrueAnomalyFromEccentric(math.Pi, e); math.Abs(nu-math.Pi) > 1e-9 {
+			t.Fatalf("apogee true anomaly = %v", nu)
+		}
+	}
+}
+
+func TestEllipticalMatchesCircular(t *testing.T) {
+	// With e=0 the elliptical propagator reproduces the circular one.
+	c := Elements{AltitudeKm: 550, InclinationDeg: 53, RAANDeg: 40, ArgLatDeg: 70}
+	pc := mustProp(t, c, Options{})
+	pe, err := NewEllipticalPropagator(FromCircular(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []float64{0, 500, 3000, 5739} {
+		d := pc.ECIAt(tt).Distance(pe.ECIAt(tt))
+		if d > 1e-6 {
+			t.Fatalf("t=%v: circular/elliptical diverge by %v km", tt, d)
+		}
+		de := pc.ECEFAt(tt).Distance(pe.ECEFAt(tt))
+		if de > 1e-6 {
+			t.Fatalf("t=%v: ECEF diverge by %v km", tt, de)
+		}
+	}
+}
+
+func TestEllipticalRadiusBounds(t *testing.T) {
+	e := EllipticalElements{
+		SemiMajorAxisKm: 26600,
+		Eccentricity:    0.74,
+		InclinationDeg:  63.4,
+		ArgPerigeeDeg:   270,
+	}
+	p, err := NewEllipticalPropagator(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	period := e.PeriodSec()
+	minR, maxR := math.Inf(1), math.Inf(-1)
+	for tt := 0.0; tt < period; tt += period / 2000 {
+		r := p.ECIAt(tt).Norm()
+		minR = math.Min(minR, r)
+		maxR = math.Max(maxR, r)
+		// RadiusAt agrees with the position norm.
+		if math.Abs(p.RadiusAt(tt)-r) > 1e-6 {
+			t.Fatalf("RadiusAt disagrees with |ECI| at t=%v", tt)
+		}
+	}
+	if math.Abs(minR-e.PerigeeKm()) > 30 { // 2000 samples quantise the extremes
+		t.Fatalf("min radius %v vs perigee %v", minR, e.PerigeeKm())
+	}
+	if math.Abs(maxR-e.ApogeeKm()) > 30 {
+		t.Fatalf("max radius %v vs apogee %v", maxR, e.ApogeeKm())
+	}
+}
+
+func TestEllipticalPeriodicity(t *testing.T) {
+	e := EllipticalElements{SemiMajorAxisKm: 8000, Eccentricity: 0.15, InclinationDeg: 30, MeanAnomalyDeg: 123}
+	p, err := NewEllipticalPropagator(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := p.ECIAt(77).Distance(p.ECIAt(77 + e.PeriodSec())); d > 1e-6 {
+		t.Fatalf("not periodic: %v km drift", d)
+	}
+}
+
+func TestKeplerSecondLaw(t *testing.T) {
+	// Angular momentum (r × v) magnitude is constant — Kepler's 2nd law.
+	e := EllipticalElements{SemiMajorAxisKm: 10000, Eccentricity: 0.3, InclinationDeg: 45}
+	p, err := NewEllipticalPropagator(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0 := -1.0
+	dt := 0.01
+	for _, tt := range []float64{0, 1000, 3000, 6000} {
+		r := p.ECIAt(tt)
+		v := p.ECIAt(tt + dt).Sub(p.ECIAt(tt - dt)).Scale(1 / (2 * dt))
+		h := r.Cross(v).Norm()
+		if h0 < 0 {
+			h0 = h
+			continue
+		}
+		if math.Abs(h-h0)/h0 > 1e-4 {
+			t.Fatalf("angular momentum drifts: %v vs %v", h, h0)
+		}
+	}
+}
+
+func TestVisVivaAtExtremes(t *testing.T) {
+	e := EllipticalElements{SemiMajorAxisKm: 10000, Eccentricity: 0.3, InclinationDeg: 0}
+	p, err := NewEllipticalPropagator(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Numeric speed at perigee (t=0, M=0) matches vis-viva.
+	dt := 0.01
+	v := p.ECIAt(dt).Sub(p.ECIAt(-dt)).Scale(1 / (2 * dt)).Norm()
+	want := e.VisVivaSpeedKmS(e.PerigeeKm())
+	if math.Abs(v-want) > 0.01 {
+		t.Fatalf("perigee speed %v, vis-viva %v", v, want)
+	}
+	// Perigee is the fastest point.
+	half := e.PeriodSec() / 2
+	vApo := p.ECIAt(half + dt).Sub(p.ECIAt(half - dt)).Scale(1 / (2 * dt)).Norm()
+	if vApo >= v {
+		t.Fatalf("apogee speed %v not below perigee %v", vApo, v)
+	}
+}
+
+func TestEllipticalISSFromTLEValues(t *testing.T) {
+	// ISS-like orbit: a ≈ 6798 km, e ≈ 0.0001731.
+	e := EllipticalElements{
+		SemiMajorAxisKm: 6798,
+		Eccentricity:    0.0001731,
+		InclinationDeg:  51.64,
+		RAANDeg:         165.45,
+		ArgPerigeeDeg:   35.93,
+		MeanAnomalyDeg:  90.58,
+	}
+	p, err := NewEllipticalPropagator(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~92.8-minute period, altitude stays in the 405-430 km band.
+	if per := e.PeriodSec() / 60; per < 92 || per > 94 {
+		t.Fatalf("ISS period = %v min", per)
+	}
+	for tt := 0.0; tt < e.PeriodSec(); tt += 60 {
+		alt := p.ECIAt(tt).Norm() - units.EarthRadiusKm
+		if alt < 405 || alt > 435 {
+			t.Fatalf("ISS altitude %v km at t=%v", alt, tt)
+		}
+	}
+}

@@ -1,0 +1,265 @@
+// Package plot renders experiment output as text: CSV series, aligned
+// tables, ASCII line charts, and the ASCII world map used for the paper's
+// Fig 5. Keeping rendering in-repo (stdlib only) means every figure can be
+// regenerated without external tooling.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named (x, y) data series.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Valid reports whether the series has matching non-empty coordinates.
+func (s Series) Valid() bool { return len(s.X) > 0 && len(s.X) == len(s.Y) }
+
+// WriteCSV emits "x,name1,name2,..." rows for series sharing an x-grid. The
+// first series defines the grid; others must be the same length.
+func WriteCSV(w io.Writer, series ...Series) error {
+	if len(series) == 0 {
+		return fmt.Errorf("plot: no series")
+	}
+	n := len(series[0].X)
+	header := []string{"x"}
+	for _, s := range series {
+		if len(s.X) != n || len(s.Y) != n {
+			return fmt.Errorf("plot: series %q length mismatch (%d vs %d)", s.Name, len(s.Y), n)
+		}
+		header = append(header, s.Name)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		row := []string{formatNum(series[0].X[i])}
+		for _, s := range series {
+			row = append(row, formatNum(s.Y[i]))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSVRagged emits each series as its own "name,x,y" rows; series may
+// have different x-grids (CDFs usually do).
+func WriteCSVRagged(w io.Writer, series ...Series) error {
+	if _, err := fmt.Fprintln(w, "series,x,y"); err != nil {
+		return err
+	}
+	for _, s := range series {
+		if !s.Valid() {
+			return fmt.Errorf("plot: invalid series %q", s.Name)
+		}
+		for i := range s.X {
+			if _, err := fmt.Fprintf(w, "%s,%s,%s\n", s.Name, formatNum(s.X[i]), formatNum(s.Y[i])); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func formatNum(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.4f", v)
+}
+
+// Table renders rows with aligned columns. header may be nil.
+func Table(w io.Writer, header []string, rows [][]string) error {
+	all := rows
+	if header != nil {
+		all = append([][]string{header}, rows...)
+	}
+	if len(all) == 0 {
+		return nil
+	}
+	widths := make([]int, 0)
+	for _, row := range all {
+		for i, cell := range row {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	write := func(row []string) error {
+		var b strings.Builder
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			for pad := len(cell); pad < widths[i]; pad++ {
+				b.WriteByte(' ')
+			}
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+		return err
+	}
+	if header != nil {
+		if err := write(header); err != nil {
+			return err
+		}
+		var sep []string
+		for _, wd := range widths[:len(header)] {
+			sep = append(sep, strings.Repeat("-", wd))
+		}
+		if err := write(sep); err != nil {
+			return err
+		}
+	}
+	for _, row := range rows {
+		if err := write(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ASCIIChart renders series as a width×height character chart with simple
+// axes. Series are drawn with distinct glyphs in order: '*', '+', 'o', 'x'.
+func ASCIIChart(w io.Writer, title string, width, height int, series ...Series) error {
+	if width < 10 || height < 4 {
+		return fmt.Errorf("plot: chart too small (%dx%d)", width, height)
+	}
+	glyphs := []byte{'*', '+', 'o', 'x', '#', '@'}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range series {
+		if !s.Valid() {
+			return fmt.Errorf("plot: invalid series %q", s.Name)
+		}
+		any = true
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if !any {
+		return fmt.Errorf("plot: no series")
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for i := range s.X {
+			cx := int((s.X[i] - minX) / (maxX - minX) * float64(width-1))
+			cy := int((s.Y[i] - minY) / (maxY - minY) * float64(height-1))
+			row := height - 1 - cy
+			grid[row][cx] = g
+		}
+	}
+	if title != "" {
+		if _, err := fmt.Fprintln(w, title); err != nil {
+			return err
+		}
+	}
+	for ri, row := range grid {
+		label := "        "
+		switch ri {
+		case 0:
+			label = fmt.Sprintf("%8.1f", maxY)
+		case height - 1:
+			label = fmt.Sprintf("%8.1f", minY)
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s|\n", label, string(row)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%8s  %-10.1f%*s%10.1f\n", "", minX, width-20, "", maxX); err != nil {
+		return err
+	}
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c=%s", glyphs[si%len(glyphs)], s.Name))
+	}
+	_, err := fmt.Fprintln(w, "          "+strings.Join(legend, "  "))
+	return err
+}
+
+// WorldMap renders points on an equirectangular ASCII map (Fig 5 style).
+// Layers are drawn in order, later layers overwrite earlier ones.
+type WorldMap struct {
+	width, height int
+	grid          [][]byte
+}
+
+// NewWorldMap creates a map of the given character dimensions.
+func NewWorldMap(width, height int) *WorldMap {
+	if width < 20 {
+		width = 20
+	}
+	if height < 10 {
+		height = 10
+	}
+	m := &WorldMap{width: width, height: height, grid: make([][]byte, height)}
+	for r := range m.grid {
+		m.grid[r] = []byte(strings.Repeat(".", width))
+	}
+	return m
+}
+
+// Plot marks each (lat, lon) point with glyph.
+func (m *WorldMap) Plot(lats, lons []float64, glyph byte) {
+	for i := range lats {
+		col := int((lons[i] + 180) / 360 * float64(m.width-1))
+		row := int((90 - lats[i]) / 180 * float64(m.height-1))
+		if col < 0 {
+			col = 0
+		}
+		if col >= m.width {
+			col = m.width - 1
+		}
+		if row < 0 {
+			row = 0
+		}
+		if row >= m.height {
+			row = m.height - 1
+		}
+		m.grid[row][col] = glyph
+	}
+}
+
+// Render writes the map with a simple frame.
+func (m *WorldMap) Render(w io.Writer, title string) error {
+	if title != "" {
+		if _, err := fmt.Fprintln(w, title); err != nil {
+			return err
+		}
+	}
+	border := "+" + strings.Repeat("-", m.width) + "+"
+	if _, err := fmt.Fprintln(w, border); err != nil {
+		return err
+	}
+	for _, row := range m.grid {
+		if _, err := fmt.Fprintf(w, "|%s|\n", string(row)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, border)
+	return err
+}

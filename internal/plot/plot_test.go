@@ -1,0 +1,210 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSeriesValid(t *testing.T) {
+	if (Series{}).Valid() {
+		t.Fatal("empty series valid")
+	}
+	if (Series{X: []float64{1}, Y: []float64{1, 2}}).Valid() {
+		t.Fatal("mismatched series valid")
+	}
+	if !(Series{X: []float64{1}, Y: []float64{2}}).Valid() {
+		t.Fatal("good series invalid")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	err := WriteCSV(&b,
+		Series{Name: "a", X: []float64{1, 2}, Y: []float64{10, 20}},
+		Series{Name: "b", X: []float64{1, 2}, Y: []float64{0.5, 1.25}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if lines[0] != "x,a,b" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "1,10,0.5000" {
+		t.Fatalf("row = %q", lines[1])
+	}
+	if lines[2] != "2,20,1.2500" {
+		t.Fatalf("row = %q", lines[2])
+	}
+}
+
+func TestWriteCSVErrors(t *testing.T) {
+	var b strings.Builder
+	if err := WriteCSV(&b); err == nil {
+		t.Fatal("no series accepted")
+	}
+	err := WriteCSV(&b,
+		Series{Name: "a", X: []float64{1, 2}, Y: []float64{10, 20}},
+		Series{Name: "b", X: []float64{1}, Y: []float64{5}},
+	)
+	if err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestWriteCSVRagged(t *testing.T) {
+	var b strings.Builder
+	err := WriteCSVRagged(&b,
+		Series{Name: "cdf1", X: []float64{1}, Y: []float64{1}},
+		Series{Name: "cdf2", X: []float64{5, 6}, Y: []float64{0.5, 1}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "series,x,y\n") {
+		t.Fatalf("header missing: %q", out)
+	}
+	if !strings.Contains(out, "cdf2,5,0.5000") {
+		t.Fatalf("row missing: %q", out)
+	}
+	if err := WriteCSVRagged(&b, Series{Name: "bad"}); err == nil {
+		t.Fatal("invalid series accepted")
+	}
+}
+
+func TestTable(t *testing.T) {
+	var b strings.Builder
+	err := Table(&b, []string{"name", "value"}, [][]string{
+		{"alpha", "1"},
+		{"b", "22222"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d: %q", len(lines), b.String())
+	}
+	// Columns align: "alpha" is the widest first column.
+	if !strings.HasPrefix(lines[2], "alpha  1") {
+		t.Fatalf("row = %q", lines[2])
+	}
+	if !strings.HasPrefix(lines[1], "-----") {
+		t.Fatalf("separator = %q", lines[1])
+	}
+}
+
+func TestTableNoHeader(t *testing.T) {
+	var b strings.Builder
+	if err := Table(&b, nil, [][]string{{"x", "y"}}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "-") {
+		t.Fatal("separator without header")
+	}
+	// Empty table is a no-op.
+	var e strings.Builder
+	if err := Table(&e, nil, nil); err != nil || e.Len() != 0 {
+		t.Fatal("empty table should write nothing")
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	var b strings.Builder
+	err := Table(&b, []string{"a"}, [][]string{{"1", "2", "3"}, {"x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "3") {
+		t.Fatal("extra columns dropped")
+	}
+}
+
+func TestASCIIChart(t *testing.T) {
+	var b strings.Builder
+	err := ASCIIChart(&b, "title", 40, 8,
+		Series{Name: "up", X: []float64{0, 1, 2}, Y: []float64{0, 1, 2}},
+		Series{Name: "down", X: []float64{0, 1, 2}, Y: []float64{2, 1, 0}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "title") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Fatal("glyphs missing")
+	}
+	if !strings.Contains(out, "*=up") || !strings.Contains(out, "+=down") {
+		t.Fatal("legend missing")
+	}
+}
+
+func TestASCIIChartErrors(t *testing.T) {
+	var b strings.Builder
+	if err := ASCIIChart(&b, "", 5, 2); err == nil {
+		t.Fatal("tiny chart accepted")
+	}
+	if err := ASCIIChart(&b, "", 40, 8); err == nil {
+		t.Fatal("no series accepted")
+	}
+	if err := ASCIIChart(&b, "", 40, 8, Series{Name: "bad", X: []float64{1}}); err == nil {
+		t.Fatal("invalid series accepted")
+	}
+}
+
+func TestASCIIChartDegenerateRanges(t *testing.T) {
+	// Constant series must not divide by zero.
+	var b strings.Builder
+	err := ASCIIChart(&b, "", 40, 8, Series{Name: "flat", X: []float64{1, 1}, Y: []float64{3, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorldMap(t *testing.T) {
+	m := NewWorldMap(80, 24)
+	m.Plot([]float64{0, 90, -90}, []float64{0, 180, -180}, 'X')
+	var b strings.Builder
+	if err := m.Render(&b, "map"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "map") || !strings.Contains(out, "X") {
+		t.Fatalf("render missing content")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// title + border + 24 rows + border
+	if len(lines) != 27 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// Equator/prime-meridian point lands mid-map: row = (90-0)/180 × 23 = 11
+	// (truncated), which is line 2+11 after the title and border.
+	mid := lines[2+11]
+	if !strings.Contains(mid, "X") {
+		t.Fatalf("centre point missing from row %q", mid)
+	}
+}
+
+func TestWorldMapClamping(t *testing.T) {
+	m := NewWorldMap(5, 5) // clamps to minimum 20x10
+	m.Plot([]float64{200, -200}, []float64{999, -999}, 'Y')
+	var b strings.Builder
+	if err := m.Render(&b, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Y") {
+		t.Fatal("out-of-range points should clamp onto the map")
+	}
+}
+
+func TestFormatNum(t *testing.T) {
+	if got := formatNum(5); got != "5" {
+		t.Fatalf("formatNum(5) = %q", got)
+	}
+	if got := formatNum(5.5); got != "5.5000" {
+		t.Fatalf("formatNum(5.5) = %q", got)
+	}
+}

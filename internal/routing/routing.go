@@ -1,0 +1,149 @@
+// Package routing analyses the dynamics of paths over the LEO network: how
+// long a ground-to-ground route stays usable, how often the shortest path
+// changes, and what latency variation endpoints observe. This quantifies
+// the §5 observation that the infrastructure is "highly dynamic yet
+// predictable" for the network-transit case, complementing the
+// meetup-server analysis.
+package routing
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/netgraph"
+	"repro/internal/stats"
+)
+
+// PathChange is one routing event on a monitored pair.
+type PathChange struct {
+	// TimeSec is when the shortest path changed.
+	TimeSec float64
+	// OldMs and NewMs are the one-way latencies before and after.
+	OldMs, NewMs float64
+	// HopsChanged counts nodes present in exactly one of the two paths.
+	HopsChanged int
+}
+
+// PairReport summarises the route dynamics of one ground pair.
+type PairReport struct {
+	// Changes lists the path-change events in time order.
+	Changes []PathChange
+	// Latency aggregates the one-way latency samples.
+	Latency stats.Summary
+	// PathLifetimes collects the durations between path changes.
+	PathLifetimes *stats.CDF
+	// UnreachableSamples counts instants with no path at all.
+	UnreachableSamples int
+	// Samples is the number of instants evaluated.
+	Samples int
+}
+
+// JitterMs returns max-min of the observed latency — the latency swing an
+// application sees as the constellation rotates beneath the route.
+func (r PairReport) JitterMs() float64 {
+	if r.Latency.N() == 0 {
+		return 0
+	}
+	return r.Latency.Max() - r.Latency.Min()
+}
+
+// samePath reports whether two paths visit the same node sequence.
+func samePath(a, b netgraph.Path) bool {
+	if len(a.Nodes) != len(b.Nodes) {
+		return false
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i] != b.Nodes[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// hopDelta counts nodes in exactly one of the two paths.
+func hopDelta(a, b netgraph.Path) int {
+	inA := make(map[netgraph.NodeID]bool, len(a.Nodes))
+	for _, n := range a.Nodes {
+		inA[n] = true
+	}
+	delta := 0
+	for _, n := range b.Nodes {
+		if inA[n] {
+			delete(inA, n)
+		} else {
+			delta++
+		}
+	}
+	return delta + len(inA)
+}
+
+// MonitorPair samples the shortest path between ground stations gi and gj
+// every stepSec over [t0, t0+durationSec] and reports the route dynamics.
+func MonitorPair(net *netgraph.Network, gi, gj int, t0, durationSec, stepSec float64) (PairReport, error) {
+	if gi == gj {
+		return PairReport{}, fmt.Errorf("routing: same endpoint %d", gi)
+	}
+	if durationSec <= 0 || stepSec <= 0 {
+		return PairReport{}, fmt.Errorf("routing: positive duration and step required")
+	}
+	rep := PairReport{PathLifetimes: stats.NewCDF()}
+	var (
+		havePath  bool
+		current   netgraph.Path
+		pathSince float64
+	)
+	for t := t0; t <= t0+durationSec; t += stepSec {
+		rep.Samples++
+		snap := net.At(t)
+		p, err := snap.ShortestPath(net.GroundNode(gi), net.GroundNode(gj))
+		if err != nil {
+			rep.UnreachableSamples++
+			if havePath {
+				rep.PathLifetimes.Add(t - pathSince)
+				havePath = false
+			}
+			continue
+		}
+		rep.Latency.Add(p.OneWayMs)
+		if !havePath {
+			current = p
+			pathSince = t
+			havePath = true
+			continue
+		}
+		if !samePath(current, p) {
+			rep.Changes = append(rep.Changes, PathChange{
+				TimeSec:     t,
+				OldMs:       current.OneWayMs,
+				NewMs:       p.OneWayMs,
+				HopsChanged: hopDelta(current, p),
+			})
+			rep.PathLifetimes.Add(t - pathSince)
+			current = p
+			pathSince = t
+		}
+	}
+	if havePath {
+		rep.PathLifetimes.Add(t0 + durationSec - pathSince)
+	}
+	return rep, nil
+}
+
+// StabilityVsDistance is one distance bucket of a churn study.
+type StabilityVsDistance struct {
+	GeodesicKm        float64
+	MedianLifetimeSec float64
+	Changes           int
+	MeanLatencyMs     float64
+	JitterMs          float64
+}
+
+// CompareWithGeodesic returns the path-stretch of the observed mean latency
+// over the straight-line great-circle propagation bound.
+func CompareWithGeodesic(rep PairReport, geodesicKm float64) float64 {
+	bound := geodesicKm / 299792.458 * 1000
+	if bound <= 0 || rep.Latency.N() == 0 {
+		return math.Inf(1)
+	}
+	return rep.Latency.Mean() / bound
+}

@@ -1,0 +1,125 @@
+package routing
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/constellation"
+	"repro/internal/geo"
+	"repro/internal/netgraph"
+)
+
+func testNet(t *testing.T, grounds []geo.LatLon) *netgraph.Network {
+	t.Helper()
+	c, err := constellation.Build("t", []constellation.Shell{
+		{Name: "s", AltitudeKm: 550, InclinationDeg: 53, Planes: 24, SatsPerPlane: 24, PhaseFactor: 5, MinElevationDeg: 10},
+	}, constellation.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return netgraph.New(c, grounds)
+}
+
+func TestMonitorPairBasics(t *testing.T) {
+	grounds := []geo.LatLon{
+		{LatDeg: 40.71, LonDeg: -74.01}, // New York
+		{LatDeg: 51.51, LonDeg: -0.13},  // London
+	}
+	net := testNet(t, grounds)
+	rep, err := MonitorPair(net, 0, 1, 0, 600, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Samples != 61 {
+		t.Fatalf("Samples = %d", rep.Samples)
+	}
+	if rep.Latency.N()+rep.UnreachableSamples != rep.Samples {
+		t.Fatalf("sample accounting broken: %d + %d != %d",
+			rep.Latency.N(), rep.UnreachableSamples, rep.Samples)
+	}
+	// Transatlantic latency stays within physical bounds.
+	geodesic := geo.GreatCircleKm(grounds[0], grounds[1]) / 299792.458 * 1000
+	if rep.Latency.N() > 0 && rep.Latency.Min() < geodesic {
+		t.Fatalf("latency %v beats the geodesic bound %v", rep.Latency.Min(), geodesic)
+	}
+	// Changes are time-ordered with consistent latencies.
+	prev := -1.0
+	for _, ch := range rep.Changes {
+		if ch.TimeSec <= prev {
+			t.Fatalf("changes out of order at %v", ch.TimeSec)
+		}
+		prev = ch.TimeSec
+		if ch.HopsChanged <= 0 {
+			t.Fatalf("change without hop delta: %+v", ch)
+		}
+		if ch.OldMs <= 0 || ch.NewMs <= 0 {
+			t.Fatalf("degenerate change latencies: %+v", ch)
+		}
+	}
+	// Lifetime accounting: one lifetime per change plus the final open
+	// period, when the pair stays reachable throughout.
+	if rep.UnreachableSamples == 0 && rep.PathLifetimes.N() != len(rep.Changes)+1 {
+		t.Fatalf("lifetimes %d, want changes+1 = %d", rep.PathLifetimes.N(), len(rep.Changes)+1)
+	}
+	// Over 10 minutes the shortest transatlantic path changes at least once
+	// (satellites move ~4,500 km in that time).
+	if len(rep.Changes) == 0 {
+		t.Fatal("no path change in 10 minutes of LEO motion")
+	}
+	if rep.JitterMs() <= 0 {
+		t.Fatal("no latency jitter recorded")
+	}
+}
+
+func TestMonitorPairValidation(t *testing.T) {
+	net := testNet(t, []geo.LatLon{{LatDeg: 0}, {LatDeg: 10}})
+	if _, err := MonitorPair(net, 0, 0, 0, 10, 1); err == nil {
+		t.Fatal("same endpoints accepted")
+	}
+	if _, err := MonitorPair(net, 0, 1, 0, 0, 1); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+	if _, err := MonitorPair(net, 0, 1, 0, 10, 0); err == nil {
+		t.Fatal("zero step accepted")
+	}
+}
+
+func TestUnreachablePair(t *testing.T) {
+	// A polar ground station the 53° shell cannot see.
+	grounds := []geo.LatLon{
+		{LatDeg: 89.5, LonDeg: 0},
+		{LatDeg: 0, LonDeg: 0},
+	}
+	net := testNet(t, grounds)
+	rep, err := MonitorPair(net, 0, 1, 0, 60, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.UnreachableSamples == 0 {
+		t.Skip("pole unexpectedly covered")
+	}
+	if rep.Latency.N() != rep.Samples-rep.UnreachableSamples {
+		t.Fatal("latency samples inconsistent with unreachable count")
+	}
+}
+
+func TestCompareWithGeodesic(t *testing.T) {
+	grounds := []geo.LatLon{
+		{LatDeg: 40.71, LonDeg: -74.01},
+		{LatDeg: 51.51, LonDeg: -0.13},
+	}
+	net := testNet(t, grounds)
+	rep, err := MonitorPair(net, 0, 1, 0, 300, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stretch := CompareWithGeodesic(rep, geo.GreatCircleKm(grounds[0], grounds[1]))
+	// LEO paths stretch the geodesic but not absurdly (the up/down legs and
+	// grid detours dominate at this distance).
+	if stretch < 1 || stretch > 4 {
+		t.Fatalf("stretch = %v, want [1,4]", stretch)
+	}
+	if !math.IsInf(CompareWithGeodesic(PairReport{}, 100), 1) {
+		t.Fatal("empty report should give +Inf stretch")
+	}
+}

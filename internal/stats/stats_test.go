@@ -1,0 +1,257 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	if s.N() != 0 || s.Mean() != 0 || s.Variance() != 0 {
+		t.Fatal("zero Summary not neutral")
+	}
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if !almostEq(s.Mean(), 5, 1e-12) {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	// Sample variance of this classic set is 32/7.
+	if !almostEq(s.Variance(), 32.0/7, 1e-12) {
+		t.Fatalf("Variance = %v", s.Variance())
+	}
+	if !almostEq(s.Stddev(), math.Sqrt(32.0/7), 1e-12) {
+		t.Fatalf("Stddev = %v", s.Stddev())
+	}
+	if s.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestSummarySingleValue(t *testing.T) {
+	var s Summary
+	s.Add(42)
+	if s.Variance() != 0 || s.Min() != 42 || s.Max() != 42 || s.Mean() != 42 {
+		t.Fatalf("single-value summary wrong: %v", s.String())
+	}
+}
+
+func TestSummaryMatchesDirectComputation(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(100)
+		var s Summary
+		vals := make([]float64, n)
+		sum := 0.0
+		for i := range vals {
+			vals[i] = r.NormFloat64() * 100
+			s.Add(vals[i])
+			sum += vals[i]
+		}
+		mean := sum / float64(n)
+		var ss float64
+		for _, v := range vals {
+			ss += (v - mean) * (v - mean)
+		}
+		wantVar := ss / float64(n-1)
+		return almostEq(s.Mean(), mean, 1e-9*math.Max(1, math.Abs(mean))) &&
+			almostEq(s.Variance(), wantVar, 1e-6*math.Max(1, wantVar))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFQuantiles(t *testing.T) {
+	c := NewCDF(1, 2, 3, 4, 5)
+	if c.Median() != 3 {
+		t.Fatalf("Median = %v", c.Median())
+	}
+	if c.Quantile(0) != 1 || c.Quantile(1) != 5 {
+		t.Fatal("extreme quantiles wrong")
+	}
+	if got := c.Quantile(0.25); !almostEq(got, 2, 1e-12) {
+		t.Fatalf("Q25 = %v", got)
+	}
+	// Interpolation between order stats.
+	c2 := NewCDF(0, 10)
+	if got := c2.Quantile(0.3); !almostEq(got, 3, 1e-12) {
+		t.Fatalf("interpolated Q30 = %v", got)
+	}
+}
+
+func TestCDFQuantilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty Quantile should panic")
+		}
+	}()
+	NewCDF().Quantile(0.5)
+}
+
+func TestCDFQuantileRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Quantile(1.5) should panic")
+		}
+	}()
+	NewCDF(1).Quantile(1.5)
+}
+
+func TestCDFAt(t *testing.T) {
+	c := NewCDF(1, 2, 2, 3)
+	tests := []struct{ v, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2, 0.75}, {2.5, 0.75}, {3, 1}, {10, 1},
+	}
+	for _, tc := range tests {
+		if got := c.At(tc.v); !almostEq(got, tc.want, 1e-12) {
+			t.Errorf("At(%v) = %v, want %v", tc.v, got, tc.want)
+		}
+	}
+	if NewCDF().At(1) != 0 {
+		t.Fatal("empty CDF At != 0")
+	}
+}
+
+func TestCDFMonotonic(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := NewCDF()
+		for i := 0; i < 200; i++ {
+			c.Add(r.NormFloat64())
+		}
+		xs, ps := c.Points()
+		for i := 1; i < len(xs); i++ {
+			if xs[i] <= xs[i-1] || ps[i] <= ps[i-1] {
+				return false
+			}
+		}
+		return len(ps) > 0 && almostEq(ps[len(ps)-1], 1, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFQuantileAtInverse(t *testing.T) {
+	// For continuous samples, At(Quantile(q)) ≈ q.
+	r := rand.New(rand.NewSource(9))
+	c := NewCDF()
+	for i := 0; i < 1000; i++ {
+		c.Add(r.Float64() * 100)
+	}
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		if got := c.At(c.Quantile(q)); math.Abs(got-q) > 0.01 {
+			t.Fatalf("At(Quantile(%v)) = %v", q, got)
+		}
+	}
+}
+
+func TestCDFMinMaxMean(t *testing.T) {
+	c := NewCDF(5, 1, 3)
+	if c.Min() != 1 || c.Max() != 5 {
+		t.Fatal("Min/Max wrong")
+	}
+	if !almostEq(c.Mean(), 3, 1e-12) {
+		t.Fatalf("Mean = %v", c.Mean())
+	}
+	if NewCDF().Mean() != 0 {
+		t.Fatal("empty Mean != 0")
+	}
+}
+
+func TestCDFAddAllAndN(t *testing.T) {
+	c := NewCDF()
+	c.AddAll([]float64{3, 1, 2})
+	c.Add(0)
+	if c.N() != 4 {
+		t.Fatalf("N = %d", c.N())
+	}
+	// Sorting happens lazily and samples stay correct after more adds.
+	if c.Median() != 1.5 {
+		t.Fatalf("Median = %v", c.Median())
+	}
+	c.Add(100)
+	if c.Max() != 100 {
+		t.Fatal("Max after late Add wrong")
+	}
+}
+
+func TestCDFPointsDedup(t *testing.T) {
+	c := NewCDF(1, 1, 1, 2)
+	xs, ps := c.Points()
+	if len(xs) != 2 || xs[0] != 1 || xs[1] != 2 {
+		t.Fatalf("xs = %v", xs)
+	}
+	if !almostEq(ps[0], 0.75, 1e-12) || !almostEq(ps[1], 1, 1e-12) {
+		t.Fatalf("ps = %v", ps)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, v := range []float64{0.5, 1, 3, 5, 7, 9, -1, 42} {
+		h.Add(v)
+	}
+	if h.Total() != 8 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	// -1 clamps to bin 0; 42 clamps to bin 4.
+	if h.Counts[0] != 3 { // 0.5, 1, -1
+		t.Fatalf("bin0 = %d", h.Counts[0])
+	}
+	if h.Counts[4] != 2 { // 9, 42
+		t.Fatalf("bin4 = %d", h.Counts[4])
+	}
+	if !almostEq(h.BinCenter(0), 1, 1e-12) || !almostEq(h.BinCenter(4), 9, 1e-12) {
+		t.Fatal("BinCenter wrong")
+	}
+	if !almostEq(h.Fraction(0), 3.0/8, 1e-12) {
+		t.Fatalf("Fraction = %v", h.Fraction(0))
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewHistogram(0, 10, 0) },
+		func() { NewHistogram(10, 10, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("want panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestQuantileAgainstSort(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	vals := make([]float64, 101)
+	for i := range vals {
+		vals[i] = r.Float64() * 1000
+	}
+	c := NewCDF(vals...)
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	// With 101 samples, quantile q lands exactly on index 100q.
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		want := sorted[int(q*100)]
+		if got := c.Quantile(q); !almostEq(got, want, 1e-9) {
+			t.Fatalf("Quantile(%v) = %v, want %v", q, got, want)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package tle
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/orbit"
+)
+
+// FuzzDecode hardens the TLE parser: arbitrary input must never panic, and
+// anything that decodes successfully must re-encode to something decodable.
+func FuzzDecode(f *testing.F) {
+	f.Add(issTLE)
+	f.Add(FromElements("SEED", 7, orbit.Elements{AltitudeKm: 550, InclinationDeg: 53}, 24, 1).Encode())
+	f.Add("1 short")
+	f.Add("")
+	f.Add("name only\n1 x\n2 y")
+	f.Add(strings.Repeat("9", 200))
+
+	f.Fuzz(func(t *testing.T, input string) {
+		tt, err := Decode(input, false)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Round-trip property: our encoding of a decoded TLE parses again.
+		re := tt.Encode()
+		if _, err := Decode(re, true); err != nil {
+			t.Fatalf("re-encoded TLE failed to parse: %v\ninput: %q\nre: %q", err, input, re)
+		}
+	})
+}
+
+// FuzzDecodeAll exercises the catalog splitter.
+func FuzzDecodeAll(f *testing.F) {
+	one := FromElements("A", 1, orbit.Elements{AltitudeKm: 700, InclinationDeg: 98}, 24, 2).Encode()
+	f.Add(one + "\n" + one)
+	f.Add("garbage\n" + one)
+	f.Add("\n\n\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		out, err := DecodeAll(input, false)
+		if err != nil {
+			return
+		}
+		for i, tt := range out {
+			if _, err := Decode(tt.Encode(), true); err != nil {
+				t.Fatalf("entry %d re-encode failed: %v", i, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,207 @@
+package tle
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/orbit"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// A real ISS TLE (historical), checksums valid.
+const issTLE = `ISS (ZARYA)
+1 25544U 98067A   20344.91667824  .00001264  00000-0  29621-4 0  9993
+2 25544  51.6442 165.4474 0001731  35.9279  90.5828 15.49181153259772`
+
+func TestChecksumKnown(t *testing.T) {
+	lines := strings.Split(issTLE, "\n")
+	for i, l := range lines[1:] {
+		if got := Checksum(l[:68]); got != int(l[68]-'0') {
+			t.Errorf("line %d checksum = %d, want %c", i+1, got, l[68])
+		}
+	}
+}
+
+func TestDecodeISS(t *testing.T) {
+	tt, err := Decode(issTLE, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tt.Name != "ISS (ZARYA)" {
+		t.Errorf("Name = %q", tt.Name)
+	}
+	if tt.CatalogNumber != 25544 {
+		t.Errorf("CatalogNumber = %d", tt.CatalogNumber)
+	}
+	if tt.Classification != 'U' {
+		t.Errorf("Classification = %c", tt.Classification)
+	}
+	if !almostEq(tt.InclinationDeg, 51.6442, 1e-9) {
+		t.Errorf("Inclination = %v", tt.InclinationDeg)
+	}
+	if !almostEq(tt.RAANDeg, 165.4474, 1e-9) {
+		t.Errorf("RAAN = %v", tt.RAANDeg)
+	}
+	if !almostEq(tt.Eccentricity, 0.0001731, 1e-12) {
+		t.Errorf("Eccentricity = %v", tt.Eccentricity)
+	}
+	if !almostEq(tt.MeanMotionRevPerDay, 15.49181153, 1e-9) {
+		t.Errorf("MeanMotion = %v", tt.MeanMotionRevPerDay)
+	}
+	if tt.EpochYear != 20 || !almostEq(tt.EpochDay, 344.91667824, 1e-9) {
+		t.Errorf("epoch = %d/%v", tt.EpochYear, tt.EpochDay)
+	}
+	// ISS altitude ≈ 420 km: Elements() recovers it from mean motion.
+	el := tt.Elements()
+	if el.AltitudeKm < 400 || el.AltitudeKm > 440 {
+		t.Errorf("ISS altitude from TLE = %v km, want ≈420", el.AltitudeKm)
+	}
+}
+
+func TestDecodeRejectsBadChecksum(t *testing.T) {
+	bad := strings.Replace(issTLE, "0  9993", "0  9994", 1)
+	if _, err := Decode(bad, true); err == nil {
+		t.Fatal("want checksum error")
+	}
+	// But passes with verification off.
+	if _, err := Decode(bad, false); err != nil {
+		t.Fatalf("verification off should accept: %v", err)
+	}
+}
+
+func TestDecodeStructuralErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"one-line", "1 25544U"},
+		{"wrong-first-char", strings.Replace(issTLE, "\n1 ", "\n9 ", 1)},
+		{"short-line2", issTLE[:len(issTLE)-30]},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Decode(tc.in, false); err == nil {
+				t.Fatal("want error")
+			}
+		})
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	e := orbit.Elements{AltitudeKm: 550, InclinationDeg: 53, RAANDeg: 123.4567, ArgLatDeg: 42.42}
+	enc := FromElements("STARLINK-TEST", 44713, e, 24, 100.5)
+	text := enc.Encode()
+
+	dec, err := Decode(text, true)
+	if err != nil {
+		t.Fatalf("decode of our own encoding failed: %v\n%s", err, text)
+	}
+	if dec.Name != "STARLINK-TEST" || dec.CatalogNumber != 44713 {
+		t.Fatalf("identity fields: %+v", dec)
+	}
+	got := dec.Elements()
+	if !almostEq(got.AltitudeKm, 550, 0.5) {
+		t.Errorf("altitude round trip = %v", got.AltitudeKm)
+	}
+	if !almostEq(got.InclinationDeg, 53, 1e-3) {
+		t.Errorf("inclination round trip = %v", got.InclinationDeg)
+	}
+	if !almostEq(got.RAANDeg, 123.4567, 1e-3) {
+		t.Errorf("RAAN round trip = %v", got.RAANDeg)
+	}
+	if !almostEq(got.ArgLatDeg, 42.42, 1e-3) {
+		t.Errorf("arg lat round trip = %v", got.ArgLatDeg)
+	}
+}
+
+func TestEncodeChecksumsValid(t *testing.T) {
+	f := func(alt8, inc8, raan8, arg8 uint16) bool {
+		e := orbit.Elements{
+			AltitudeKm:     300 + float64(alt8%1700),
+			InclinationDeg: float64(inc8 % 180),
+			RAANDeg:        float64(raan8%3600) / 10,
+			ArgLatDeg:      float64(arg8%3600) / 10,
+		}
+		text := FromElements("X", int(alt8), e, 24, 1.0).Encode()
+		lines := strings.Split(text, "\n")
+		if len(lines) != 3 || len(lines[1]) != 69 || len(lines[2]) != 69 {
+			return false
+		}
+		for _, l := range lines[1:] {
+			if Checksum(l[:68]) != int(l[68]-'0') {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeAll(t *testing.T) {
+	e1 := FromElements("SAT-A", 1, orbit.Elements{AltitudeKm: 550, InclinationDeg: 53}, 24, 1)
+	e2 := FromElements("SAT-B", 2, orbit.Elements{AltitudeKm: 1110, InclinationDeg: 53.8, RAANDeg: 90}, 24, 1)
+	catalog := e1.Encode() + "\n\n" + e2.Encode() + "\n"
+
+	got, err := DecodeAll(catalog, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("decoded %d entries, want 2", len(got))
+	}
+	if got[0].Name != "SAT-A" || got[1].Name != "SAT-B" {
+		t.Fatalf("names: %q, %q", got[0].Name, got[1].Name)
+	}
+	if alt := got[1].Elements().AltitudeKm; !almostEq(alt, 1110, 1) {
+		t.Fatalf("second altitude = %v", alt)
+	}
+}
+
+func TestDecodeAllTruncated(t *testing.T) {
+	e1 := FromElements("SAT-A", 1, orbit.Elements{AltitudeKm: 550, InclinationDeg: 53}, 24, 1)
+	lines := strings.Split(e1.Encode(), "\n")
+	if _, err := DecodeAll(lines[0]+"\n"+lines[1], true); err == nil {
+		t.Fatal("want truncation error")
+	}
+}
+
+func TestDecodeAllNoNames(t *testing.T) {
+	e1 := FromElements("", 7, orbit.Elements{AltitudeKm: 550, InclinationDeg: 53}, 24, 1)
+	lines := strings.Split(e1.Encode(), "\n")
+	noName := lines[1] + "\n" + lines[2]
+	got, err := DecodeAll(noName, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].CatalogNumber != 7 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestParseErrorMessages(t *testing.T) {
+	err := &ParseError{Line: 2, Msg: "bad RAAN"}
+	if err.Error() != "tle: line 2: bad RAAN" {
+		t.Fatalf("Error() = %q", err.Error())
+	}
+	err0 := &ParseError{Msg: "structural"}
+	if err0.Error() != "tle: structural" {
+		t.Fatalf("Error() = %q", err0.Error())
+	}
+}
+
+func TestCbrt(t *testing.T) {
+	for _, x := range []float64{1, 8, 27, 1e9, 2.5} {
+		if got := cbrt(x); !almostEq(got*got*got, x, 1e-6*x) {
+			t.Errorf("cbrt(%v)³ = %v", x, got*got*got)
+		}
+	}
+	if got := cbrt(-8); !almostEq(got, -2, 1e-9) {
+		t.Errorf("cbrt(-8) = %v", got)
+	}
+}

@@ -1,0 +1,158 @@
+// Package trace generates the deterministic synthetic workloads the
+// experiments run on: multi-user groups for meetup-server studies, request
+// arrival processes for edge workloads, and state-size distributions for
+// migration. All generators are seeded; the same seed reproduces the same
+// trace bit-for-bit.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/cities"
+	"repro/internal/geo"
+)
+
+// UserGroup is a set of endpoints that want a common meetup server.
+type UserGroup struct {
+	// Name labels the group in reports.
+	Name string
+	// Users holds the endpoint locations.
+	Users []geo.LatLon
+}
+
+// WestAfricaGroup returns the paper's Fig 3 scenario: three users in West
+// Africa (Abuja, Yaoundé, Accra).
+func WestAfricaGroup() UserGroup {
+	return UserGroup{
+		Name: "west-africa",
+		Users: []geo.LatLon{
+			{LatDeg: 9.06, LonDeg: 7.49},  // Abuja, Nigeria
+			{LatDeg: 3.87, LonDeg: 11.52}, // Yaoundé, Cameroon
+			{LatDeg: 5.60, LonDeg: -0.19}, // Accra, Ghana
+		},
+	}
+}
+
+// TriContinentGroup returns the paper's §3.2 Kuiper scenario: users at
+// South Central US, Brazil South, and Australia East.
+func TriContinentGroup() UserGroup {
+	return UserGroup{
+		Name: "tri-continent",
+		Users: []geo.LatLon{
+			{LatDeg: 29.42, LonDeg: -98.49},  // San Antonio (South Central US)
+			{LatDeg: -23.55, LonDeg: -46.63}, // São Paulo (Brazil South)
+			{LatDeg: -33.87, LonDeg: 151.21}, // Sydney (Australia East)
+		},
+	}
+}
+
+// GroupConfig controls random group generation.
+type GroupConfig struct {
+	// Seed fixes the RNG.
+	Seed int64
+	// Groups is how many groups to generate.
+	Groups int
+	// MinUsers and MaxUsers bound group size (inclusive).
+	MinUsers, MaxUsers int
+	// SpreadKm bounds how far group members sit from the group's anchor
+	// city. Small spreads model regional friend groups; large spreads model
+	// intercontinental ones.
+	SpreadKm float64
+	// MaxAbsLatDeg clips anchors to a latitude band (Kuiper serves nothing
+	// above ~56°; pass 50 to stay well inside coverage). Zero means 60.
+	MaxAbsLatDeg float64
+}
+
+// Groups draws user groups anchored at population centers: an anchor city is
+// sampled population-weighted, then each member is placed within SpreadKm of
+// it. This mirrors the paper's framing of groups of friends in and around
+// real population centers.
+func Groups(cfg GroupConfig) ([]UserGroup, error) {
+	if cfg.Groups <= 0 {
+		return nil, fmt.Errorf("trace: Groups must be positive, got %d", cfg.Groups)
+	}
+	if cfg.MinUsers <= 0 || cfg.MaxUsers < cfg.MinUsers {
+		return nil, fmt.Errorf("trace: bad user bounds [%d,%d]", cfg.MinUsers, cfg.MaxUsers)
+	}
+	maxLat := cfg.MaxAbsLatDeg
+	if maxLat == 0 {
+		maxLat = 60
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	pool := cities.TopN(500)
+	var cum []float64
+	total := 0.0
+	for _, c := range pool {
+		total += float64(c.Population)
+		cum = append(cum, total)
+	}
+	pickCity := func() cities.City {
+		x := r.Float64() * total
+		lo, hi := 0, len(cum)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return pool[lo]
+	}
+
+	out := make([]UserGroup, 0, cfg.Groups)
+	for gi := 0; gi < cfg.Groups; gi++ {
+		var anchor cities.City
+		for tries := 0; ; tries++ {
+			anchor = pickCity()
+			if math.Abs(anchor.Loc.LatDeg) <= maxLat {
+				break
+			}
+			if tries > 1000 {
+				return nil, fmt.Errorf("trace: cannot find anchor within |lat|<=%v", maxLat)
+			}
+		}
+		n := cfg.MinUsers + r.Intn(cfg.MaxUsers-cfg.MinUsers+1)
+		g := UserGroup{Name: fmt.Sprintf("group-%03d-%s", gi, anchor.Name)}
+		for u := 0; u < n; u++ {
+			dist := r.Float64() * cfg.SpreadKm
+			brg := r.Float64() * 360
+			loc := geo.Destination(anchor.Loc, brg, dist)
+			// Keep members inside the latitude band too.
+			if math.Abs(loc.LatDeg) > maxLat {
+				loc.LatDeg = math.Copysign(maxLat, loc.LatDeg)
+			}
+			g.Users = append(g.Users, loc)
+		}
+		out = append(out, g)
+	}
+	return out, nil
+}
+
+// Poisson draws inter-arrival times (seconds) of a Poisson process with the
+// given rate (events/second) until horizonSec, returning absolute event
+// times. Deterministic under seed.
+func Poisson(seed int64, rate, horizonSec float64) []float64 {
+	if rate <= 0 || horizonSec <= 0 {
+		return nil
+	}
+	r := rand.New(rand.NewSource(seed))
+	var out []float64
+	t := 0.0
+	for {
+		t += r.ExpFloat64() / rate
+		if t >= horizonSec {
+			return out
+		}
+		out = append(out, t)
+	}
+}
+
+// StateSizeMB draws an application state size in megabytes: log-normal
+// around a session-state scale (player + world-delta state of a game
+// session, per §5's session-specific state discussion).
+func StateSizeMB(r *rand.Rand, medianMB, sigma float64) float64 {
+	return medianMB * math.Exp(r.NormFloat64()*sigma)
+}

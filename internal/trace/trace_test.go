@@ -1,0 +1,173 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+func TestPaperGroups(t *testing.T) {
+	wa := WestAfricaGroup()
+	if wa.Name != "west-africa" || len(wa.Users) != 3 {
+		t.Fatalf("WestAfricaGroup = %+v", wa)
+	}
+	// Abuja leads the list.
+	if math.Abs(wa.Users[0].LatDeg-9.06) > 0.01 {
+		t.Fatalf("first user should be Abuja: %v", wa.Users[0])
+	}
+	tc := TriContinentGroup()
+	if tc.Name != "tri-continent" || len(tc.Users) != 3 {
+		t.Fatalf("TriContinentGroup = %+v", tc)
+	}
+	// Spread across hemispheres.
+	north, south := 0, 0
+	for _, u := range tc.Users {
+		if u.LatDeg > 0 {
+			north++
+		} else {
+			south++
+		}
+	}
+	if north == 0 || south == 0 {
+		t.Fatal("tri-continent group should straddle the equator")
+	}
+}
+
+func TestGroupsValidation(t *testing.T) {
+	if _, err := Groups(GroupConfig{Groups: 0, MinUsers: 1, MaxUsers: 2}); err == nil {
+		t.Fatal("zero groups accepted")
+	}
+	if _, err := Groups(GroupConfig{Groups: 1, MinUsers: 0, MaxUsers: 2}); err == nil {
+		t.Fatal("zero min users accepted")
+	}
+	if _, err := Groups(GroupConfig{Groups: 1, MinUsers: 3, MaxUsers: 2}); err == nil {
+		t.Fatal("inverted bounds accepted")
+	}
+}
+
+func TestGroupsShape(t *testing.T) {
+	cfg := GroupConfig{Seed: 7, Groups: 30, MinUsers: 3, MaxUsers: 5, SpreadKm: 500, MaxAbsLatDeg: 52}
+	groups, err := Groups(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 30 {
+		t.Fatalf("got %d groups", len(groups))
+	}
+	for _, g := range groups {
+		if len(g.Users) < 3 || len(g.Users) > 5 {
+			t.Fatalf("group %s has %d users", g.Name, len(g.Users))
+		}
+		if !strings.HasPrefix(g.Name, "group-") {
+			t.Fatalf("group name %q", g.Name)
+		}
+		c := geo.Centroid(g.Users)
+		for _, u := range g.Users {
+			if !u.Valid() {
+				t.Fatalf("invalid user in %s: %v", g.Name, u)
+			}
+			if math.Abs(u.LatDeg) > 52.01 {
+				t.Fatalf("user outside latitude band in %s: %v", g.Name, u)
+			}
+			// Users sit near their anchor: centroid distance bounded by
+			// spread (plus slack for the clamping at the band edge).
+			if d := geo.GreatCircleKm(c, u); d > 2*cfg.SpreadKm+100 {
+				t.Fatalf("user %v is %0.f km from centroid of %s", u, d, g.Name)
+			}
+		}
+	}
+}
+
+func TestGroupsDeterministic(t *testing.T) {
+	cfg := GroupConfig{Seed: 11, Groups: 5, MinUsers: 3, MaxUsers: 3, SpreadKm: 300}
+	a, err := Groups(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Groups(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name {
+			t.Fatalf("names diverge at %d", i)
+		}
+		for j := range a[i].Users {
+			if a[i].Users[j] != b[i].Users[j] {
+				t.Fatalf("user %d/%d diverges", i, j)
+			}
+		}
+	}
+	// Different seed → different draw.
+	c, err := Groups(GroupConfig{Seed: 12, Groups: 5, MinUsers: 3, MaxUsers: 3, SpreadKm: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		for j := range a[i].Users {
+			if a[i].Users[j] != c[i].Users[j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical groups")
+	}
+}
+
+func TestGroupsDefaultLatBand(t *testing.T) {
+	groups, err := Groups(GroupConfig{Seed: 3, Groups: 50, MinUsers: 1, MaxUsers: 1, SpreadKm: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range groups {
+		if math.Abs(g.Users[0].LatDeg) > 60.01 {
+			t.Fatalf("default band violated: %v", g.Users[0])
+		}
+	}
+}
+
+func TestPoisson(t *testing.T) {
+	events := Poisson(5, 0.1, 10000)
+	// Expect ≈1000 events ±20%.
+	if len(events) < 800 || len(events) > 1200 {
+		t.Fatalf("Poisson produced %d events, want ≈1000", len(events))
+	}
+	prev := 0.0
+	for _, e := range events {
+		if e <= prev || e >= 10000 {
+			t.Fatalf("event time %v out of order or horizon", e)
+		}
+		prev = e
+	}
+	// Deterministic under seed.
+	again := Poisson(5, 0.1, 10000)
+	if len(again) != len(events) || again[0] != events[0] {
+		t.Fatal("Poisson not deterministic")
+	}
+	// Degenerate inputs.
+	if Poisson(1, 0, 100) != nil || Poisson(1, 1, 0) != nil {
+		t.Fatal("degenerate Poisson should be empty")
+	}
+}
+
+func TestStateSizeMB(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	var sum float64
+	n := 20000
+	for i := 0; i < n; i++ {
+		v := StateSizeMB(r, 64, 0.5)
+		if v <= 0 {
+			t.Fatalf("non-positive state size %v", v)
+		}
+		sum += math.Log(v)
+	}
+	// Log-normal around median 64: mean of logs ≈ log(64).
+	if got := sum / float64(n); math.Abs(got-math.Log(64)) > 0.05 {
+		t.Fatalf("log-mean = %v, want ≈%v", got, math.Log(64))
+	}
+}

@@ -1,0 +1,42 @@
+package visibility
+
+import (
+	"fmt"
+
+	"repro/internal/geo"
+	"repro/internal/units"
+)
+
+// RangeRateKmS returns the rate of change of the slant range between a
+// fixed ground point and satellite satID at t seconds after epoch, in km/s.
+// Negative while the satellite approaches, positive as it recedes; zero at
+// culmination.
+func (o *Observer) RangeRateKmS(ground geo.Vec3, satID int, tSec float64) (float64, error) {
+	if satID < 0 || satID >= o.c.Size() {
+		return 0, fmt.Errorf("visibility: satellite %d out of range", satID)
+	}
+	prop := o.c.Satellites[satID].Prop
+	pos := prop.ECEFAt(tSec)
+	vel := prop.ECEFVelocityAt(tSec)
+	rel := pos.Sub(ground)
+	d := rel.Norm()
+	if d == 0 {
+		return 0, nil
+	}
+	// Ground is fixed in ECEF, so the relative velocity is the satellite's.
+	return vel.Dot(rel) / d, nil
+}
+
+// DopplerShiftHz returns the carrier Doppler shift observed at the ground
+// point for a downlink at carrierHz from satellite satID at t seconds after
+// epoch. Positive while approaching (blueshift).
+func (o *Observer) DopplerShiftHz(ground geo.Vec3, satID int, tSec, carrierHz float64) (float64, error) {
+	if carrierHz <= 0 {
+		return 0, fmt.Errorf("visibility: carrier frequency must be positive, got %v", carrierHz)
+	}
+	rr, err := o.RangeRateKmS(ground, satID, tSec)
+	if err != nil {
+		return 0, err
+	}
+	return -rr / units.SpeedOfLightKmS * carrierHz, nil
+}

@@ -1,0 +1,99 @@
+package visibility
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+func TestRangeRateNumericAgreement(t *testing.T) {
+	c := passConst(t)
+	o := NewObserver(c)
+	g := geo.LatLon{LatDeg: 30, LonDeg: 0}.ECEF()
+	prop := c.Satellites[0].Prop
+	for _, tt := range []float64{0, 137, 1000, 4321} {
+		rr, err := o.RangeRateKmS(g, 0, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Central-difference check.
+		h := 0.05
+		d1 := g.Distance(prop.ECEFAt(tt + h))
+		d0 := g.Distance(prop.ECEFAt(tt - h))
+		num := (d1 - d0) / (2 * h)
+		if math.Abs(rr-num) > 0.01 {
+			t.Fatalf("t=%v: analytic %v vs numeric %v", tt, rr, num)
+		}
+	}
+}
+
+func TestRangeRateZeroAtCulmination(t *testing.T) {
+	c := passConst(t)
+	o := NewObserver(c)
+	g := geo.LatLon{LatDeg: 30, LonDeg: 0}.ECEF()
+	ws, err := o.PassWindows(g, 0, 0, 4*5739, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) == 0 {
+		t.Skip("no pass in the window")
+	}
+	w := ws[0]
+	rr, err := o.RangeRateKmS(g, 0, w.MaxElevationSec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At culmination the range is stationary. Culmination is located on a
+	// coarse grid, so allow the residual of ~one grid cell.
+	if math.Abs(rr) > 0.5 {
+		t.Fatalf("range rate at culmination = %v km/s", rr)
+	}
+	// Before culmination: approaching; after: receding.
+	before, _ := o.RangeRateKmS(g, 0, w.AOSSec+5)
+	after, _ := o.RangeRateKmS(g, 0, w.LOSSec-5)
+	if before >= 0 || after <= 0 {
+		t.Fatalf("range rate signs: before=%v after=%v", before, after)
+	}
+	// LEO range rates stay below the orbital speed (~7.6 km/s).
+	if math.Abs(before) > 7.6 || math.Abs(after) > 7.6 {
+		t.Fatalf("range rate exceeds orbital speed: %v / %v", before, after)
+	}
+}
+
+func TestDopplerShift(t *testing.T) {
+	c := passConst(t)
+	o := NewObserver(c)
+	g := geo.LatLon{LatDeg: 30, LonDeg: 0}.ECEF()
+	const kaHz = 20e9
+	ws, err := o.PassWindows(g, 0, 0, 4*5739, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) == 0 {
+		t.Skip("no pass")
+	}
+	w := ws[0]
+	shift, err := o.DopplerShiftHz(g, 0, w.AOSSec+5, kaHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Approaching → positive shift; magnitude for Ka at LEO is hundreds of
+	// kHz (v/c ≈ 2e-5 × 20 GHz ≈ 400 kHz).
+	if shift <= 0 || shift > 1e6 {
+		t.Fatalf("AOS Doppler = %v Hz", shift)
+	}
+	late, err := o.DopplerShiftHz(g, 0, w.LOSSec-5, kaHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if late >= 0 {
+		t.Fatalf("LOS Doppler = %v Hz, want redshift", late)
+	}
+	if _, err := o.DopplerShiftHz(g, 0, 0, 0); err == nil {
+		t.Fatal("zero carrier accepted")
+	}
+	if _, err := o.RangeRateKmS(g, -1, 0); err == nil {
+		t.Fatal("bad satellite accepted")
+	}
+}
