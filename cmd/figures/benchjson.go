@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// benchjson mode: post-process `go test -bench` text output into a
+// machine-readable BENCH_obs.json so b.ReportMetric headline values
+// (worst-nearest-rtt-ms, sticky-transfer-median-ms, ...) become a perf
+// trajectory the repo can track across commits.
+//
+//	go test -bench . -run '^$' | figures -benchjson - -benchout BENCH_obs.json
+
+// benchResult is one parsed benchmark line.
+type benchResult struct {
+	Name       string             `json:"name"`       // without the Benchmark prefix / -P suffix
+	Iterations int64              `json:"iterations"` // b.N of the final run
+	Metrics    map[string]float64 `json:"metrics"`    // unit -> value, ns/op and ReportMetric units alike
+}
+
+// benchFile is the BENCH_obs.json document.
+type benchFile struct {
+	GeneratedUnix int64         `json:"generated_unix"`
+	Source        string        `json:"source"`
+	Benchmarks    []benchResult `json:"benchmarks"`
+}
+
+// parseBenchOutput extracts benchmark result lines from `go test -bench`
+// output, tolerating the surrounding goos/pkg/PASS chatter. Repeated runs of
+// the same benchmark keep the last result.
+func parseBenchOutput(r io.Reader) ([]benchResult, error) {
+	byName := map[string]benchResult{}
+	var order []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 2 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i] // strip the GOMAXPROCS suffix
+			}
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // a FAIL or SKIP marker, not a result line
+		}
+		res := benchResult{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: bad value %q on line %q", fields[i], sc.Text())
+			}
+			res.Metrics[fields[i+1]] = v
+		}
+		if _, seen := byName[name]; !seen {
+			order = append(order, name)
+		}
+		byName[name] = res
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]benchResult, 0, len(order))
+	for _, n := range order {
+		out = append(out, byName[n])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// benchJSON reads bench output from inPath ("-" = stdin) and writes
+// BENCH_obs.json to outPath.
+func benchJSON(inPath, outPath string) error {
+	var in io.Reader = os.Stdin
+	source := "stdin"
+	if inPath != "-" {
+		f, err := os.Open(inPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+		source = inPath
+	}
+	results, err := parseBenchOutput(in)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("benchjson: no benchmark result lines in %s", source)
+	}
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(benchFile{
+		GeneratedUnix: time.Now().Unix(),
+		Source:        source,
+		Benchmarks:    results,
+	}); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(results), outPath)
+	return nil
+}

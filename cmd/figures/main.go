@@ -7,6 +7,11 @@
 //	figures -fig all            # everything, paper scale
 //	figures -fig 1 -fast        # one figure, reduced sampling
 //	figures -fig feasibility    # the §4 table
+//	figures -trace run.json     # also export a Chrome trace of the run
+//	go test -bench . -run '^$' | figures -benchjson -   # bench -> BENCH_obs.json
+//
+// Every run prints a per-figure timing table on stderr and writes
+// <out>/runinfo.json with durations, sample counts, and Go/host metadata.
 package main
 
 import (
@@ -15,24 +20,36 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/plot"
 	"repro/internal/power"
 )
 
 func main() {
 	var (
-		fig  = flag.String("fig", "all", "figure to regenerate: 1..7, feasibility, eo, ablation, weather, matchmaking, churn, capacity, edgeload, power, cdnlat, all")
-		out  = flag.String("out", "results", "output directory for CSV files")
-		fast = flag.Bool("fast", false, "reduced sampling for quick runs")
+		fig      = flag.String("fig", "all", "figure to regenerate: 1..7, feasibility, eo, ablation, weather, matchmaking, churn, capacity, edgeload, power, cdnlat, all")
+		out      = flag.String("out", "results", "output directory for CSV files")
+		fast     = flag.Bool("fast", false, "reduced sampling for quick runs")
+		traceOut = flag.String("trace", "", "write a Chrome trace-event file of the run (open in about://tracing)")
+		benchIn  = flag.String("benchjson", "", "post-process `go test -bench` output (path or - for stdin) instead of running figures")
+		benchOut = flag.String("benchout", "BENCH_obs.json", "output path for -benchjson")
 	)
 	flag.Parse()
+
+	if *benchIn != "" {
+		if err := benchJSON(*benchIn, *benchOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
 	}
-	r := runner{out: *out, fast: *fast}
+	r := runner{out: *out, fast: *fast, tracer: obs.NewTracer(nil)}
 
 	jobs := map[string]func() error{
 		"1":           r.fig1,
@@ -55,22 +72,57 @@ func main() {
 	}
 	order := []string{"1", "2", "3", "4", "5", "6", "feasibility", "eo", "ablation", "weather", "matchmaking", "churn", "capacity", "edgeload", "power", "cdnlat"}
 
+	var names []string
 	switch *fig {
 	case "all":
-		for _, name := range order {
-			if err := jobs[name](); err != nil {
-				fatal(fmt.Errorf("fig %s: %w", name, err))
-			}
-		}
+		names = order
 	default:
-		job, ok := jobs[*fig]
-		if !ok {
+		if _, ok := jobs[*fig]; !ok {
 			fatal(fmt.Errorf("unknown figure %q", *fig))
 		}
-		if err := job(); err != nil {
-			fatal(err)
+		names = []string{*fig}
+	}
+
+	info := newRunInfo(*fast)
+	info.GeneratedUnix = time.Now().Unix()
+	startIters := experiments.Progress()
+	runStart := time.Now()
+	for _, name := range names {
+		if err := r.runFigure(name, jobs[name], &info); err != nil {
+			fatal(fmt.Errorf("fig %s: %w", name, err))
 		}
 	}
+	info.TotalSeconds = time.Since(runStart).Seconds()
+	info.SweepIterations = experiments.Progress() - startIters
+
+	printTimingTable(info)
+	runinfoPath := filepath.Join(*out, "runinfo.json")
+	if err := writeRunInfo(runinfoPath, info); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", runinfoPath)
+	if *traceOut != "" {
+		if err := writeChromeTrace(*traceOut, r.tracer); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *traceOut)
+	}
+}
+
+// runFigure wraps one figure job in a span and records its timing and sweep
+// volume into the run info.
+func (r runner) runFigure(name string, job func() error, info *runInfo) error {
+	sp := r.tracer.Start("fig:" + name)
+	before := experiments.Progress()
+	start := time.Now()
+	err := job()
+	seconds := time.Since(start).Seconds()
+	samples := experiments.Progress() - before
+	sp.SetAttr("samples", fmt.Sprint(samples))
+	sp.End()
+	info.Figures = append(info.Figures, figTiming{Name: name, Seconds: seconds, Samples: samples})
+	fmt.Fprintf(os.Stderr, "fig %s: %.2fs (%d sweep iterations)\n", name, seconds, samples)
+	return err
 }
 
 func fatal(err error) {
@@ -79,8 +131,9 @@ func fatal(err error) {
 }
 
 type runner struct {
-	out  string
-	fast bool
+	out    string
+	fast   bool
+	tracer *obs.Tracer // nil-safe: an unset tracer records nothing
 }
 
 func (r runner) sweep() experiments.LatitudeSweepConfig {

@@ -19,6 +19,11 @@
 //
 // A second instance started with the same flags receives the state
 // automatically: migration connections are recognised by a handshake line.
+//
+// With -debug addr the server exposes /metrics (Prometheus text, or
+// ?format=json), /healthz, /debug/vars, and /debug/pprof on that address.
+// SIGINT/SIGTERM drains gracefully: listeners close, in-flight connections
+// get -draintimeout to finish, and the final metrics snapshot is logged.
 package main
 
 import (
@@ -28,11 +33,17 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
 
 	"repro/internal/migrate"
+	"repro/internal/obs"
 )
 
 const migrationHandshake = "IOSM-MIGRATION/1"
@@ -42,10 +53,15 @@ func main() {
 		listen = flag.String("listen", "127.0.0.1:7070", "client listen address")
 		admin  = flag.String("admin", "127.0.0.1:7071", "admin listen address")
 		name   = flag.String("name", "sat-A", "server name (shown in replies)")
+		debug  = flag.String("debug", "", "debug listen address for /metrics, /healthz, /debug/pprof (empty = off)")
+		drain  = flag.Duration("draintimeout", 5*time.Second, "how long shutdown waits for in-flight connections")
 	)
 	flag.Parse()
 
-	srv := newServer(*name)
+	srv := newServer(*name, obs.Default())
+	srv.drainTimeout = *drain
+	migrate.SetTracer(srv.tracer)
+
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatalf("meetupd: listen: %v", err)
@@ -54,10 +70,31 @@ func main() {
 	if err != nil {
 		log.Fatalf("meetupd: admin listen: %v", err)
 	}
+
+	if *debug != "" {
+		dln, err := net.Listen("tcp", *debug)
+		if err != nil {
+			log.Fatalf("meetupd: debug listen: %v", err)
+		}
+		rt := obs.RegisterRuntimeMetrics(srv.reg)
+		mux := obs.DebugMux(srv.reg)
+		h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			rt.Collect() // refresh runtime gauges on every scrape
+			mux.ServeHTTP(w, r)
+		})
+		go func() {
+			if err := http.Serve(dln, h); err != nil {
+				log.Printf("meetupd: debug server: %v", err)
+			}
+		}()
+		log.Printf("meetupd %s: debug endpoint on http://%s/metrics", *name, dln.Addr())
+	}
+
 	log.Printf("meetupd %s: clients on %s, admin on %s", *name, ln.Addr(), aln.Addr())
 
-	go srv.acceptLoop(ln, srv.handleClientOrMigration)
-	srv.acceptLoop(aln, srv.handleAdmin)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	srv.run(ln, aln, sig)
 }
 
 // session is the migratable application state: a shared key-value world
@@ -68,26 +105,129 @@ type session struct {
 	Users  []string          `json:"users"`
 }
 
+// metrics holds the server's instrument handles; families live on the
+// registry passed to newServer (obs.Default() in production, a fresh
+// registry in tests).
+type metrics struct {
+	conns      *obs.CounterVec // meetupd_connections_total{kind}
+	commands   *obs.CounterVec // meetupd_commands_total{verb}
+	migrations *obs.CounterVec // meetupd_migrations_total{direction,result}
+	migBytes   *obs.CounterVec // meetupd_migration_bytes_total{direction}
+	migSeconds *obs.Histogram  // meetupd_migration_seconds
+	stateKeys  *obs.Gauge      // meetupd_state_keys
+	stateUsers *obs.Gauge      // meetupd_state_users
+	seq        *obs.Gauge      // meetupd_seq
+	serving    *obs.Gauge      // meetupd_serving
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	m := &metrics{
+		conns: reg.CounterVec("meetupd_connections_total",
+			"Accepted connections by kind.", "kind"),
+		commands: reg.CounterVec("meetupd_commands_total",
+			"Client commands executed by verb.", "verb"),
+		migrations: reg.CounterVec("meetupd_migrations_total",
+			"State migrations by direction and result.", "direction", "result"),
+		migBytes: reg.CounterVec("meetupd_migration_bytes_total",
+			"Session-state payload bytes migrated.", "direction"),
+		migSeconds: reg.Histogram("meetupd_migration_seconds",
+			"Wall time of state migrations.", nil),
+		stateKeys:  reg.Gauge("meetupd_state_keys", "Keys in the shared session state."),
+		stateUsers: reg.Gauge("meetupd_state_users", "Participants joined to the session."),
+		seq:        reg.Gauge("meetupd_seq", "Session state sequence number."),
+		serving:    reg.Gauge("meetupd_serving", "1 while authoritative for the session, 0 after migrating away."),
+	}
+	// Pre-create the label series the demo always reports, so a scrape of a
+	// fresh server already shows them at zero.
+	for _, kind := range []string{"client", "admin", "migration"} {
+		m.conns.With(kind)
+	}
+	for _, verb := range commandVerbs {
+		m.commands.With(verb)
+	}
+	for _, dir := range []string{"in", "out"} {
+		m.migBytes.With(dir)
+	}
+	return m
+}
+
+var commandVerbs = []string{"JOIN", "SET", "GET", "SEQ", "QUIT"}
+
 type server struct {
-	name string
+	name         string
+	reg          *obs.Registry
+	m            *metrics
+	tracer       *obs.Tracer
+	drainTimeout time.Duration
+
+	closing atomic.Bool    // shutdown started: accept-loop errors are expected
+	connWG  sync.WaitGroup // in-flight connection handlers
 
 	mu      sync.Mutex
 	state   session
 	serving bool // false after migrating away
 }
 
-func newServer(name string) *server {
-	return &server{name: name, state: session{Values: map[string]string{}}, serving: true}
+func newServer(name string, reg *obs.Registry) *server {
+	s := &server{
+		name:         name,
+		reg:          reg,
+		m:            newMetrics(reg),
+		tracer:       obs.NewTracer(nil),
+		drainTimeout: 5 * time.Second,
+		state:        session{Values: map[string]string{}},
+		serving:      true,
+	}
+	s.m.serving.Set(1)
+	return s
 }
 
-func (s *server) acceptLoop(ln net.Listener, handle func(net.Conn)) {
+// run serves both listeners until a signal arrives, then drains: close the
+// listeners (no new connections), give in-flight handlers drainTimeout to
+// finish, and log the final metrics snapshot.
+func (s *server) run(ln, aln net.Listener, sig <-chan os.Signal) {
+	var accept sync.WaitGroup
+	accept.Add(2)
+	go func() { defer accept.Done(); s.acceptLoop(ln, "client", s.handleClientOrMigration) }()
+	go func() { defer accept.Done(); s.acceptLoop(aln, "admin", s.handleAdmin) }()
+
+	got := <-sig
+	log.Printf("meetupd %s: %v received, draining", s.name, got)
+	s.closing.Store(true)
+	ln.Close()
+	aln.Close()
+	accept.Wait()
+
+	done := make(chan struct{})
+	go func() { s.connWG.Wait(); close(done) }()
+	select {
+	case <-done:
+		log.Printf("meetupd %s: all connections drained", s.name)
+	case <-time.After(s.drainTimeout):
+		log.Printf("meetupd %s: drain timeout (%v) expired with connections still open", s.name, s.drainTimeout)
+	}
+
+	var final strings.Builder
+	if err := s.reg.WritePrometheus(&final); err == nil {
+		log.Printf("meetupd %s: final metrics snapshot:\n%s", s.name, final.String())
+	}
+}
+
+func (s *server) acceptLoop(ln net.Listener, kind string, handle func(net.Conn)) {
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
-			log.Printf("meetupd: accept: %v", err)
+			if !s.closing.Load() {
+				log.Printf("meetupd: accept: %v", err)
+			}
 			return
 		}
-		go handle(conn)
+		s.m.conns.With(kind).Inc()
+		s.connWG.Add(1)
+		go func() {
+			defer s.connWG.Done()
+			handle(conn)
+		}()
 	}
 }
 
@@ -101,6 +241,7 @@ func (s *server) handleClientOrMigration(conn net.Conn) {
 		return
 	}
 	if strings.TrimSpace(first) == migrationHandshake {
+		s.m.conns.With("migration").Inc()
 		s.importState(conn, br)
 		return
 	}
@@ -108,13 +249,16 @@ func (s *server) handleClientOrMigration(conn net.Conn) {
 }
 
 func (s *server) importState(conn net.Conn, br *bufio.Reader) {
+	start := time.Now()
 	generic, sess, err := migrate.ReceiveState(br)
 	if err != nil {
+		s.m.migrations.With("in", "error").Inc()
 		log.Printf("meetupd %s: state import failed: %v", s.name, err)
 		return
 	}
 	var st session
 	if err := json.Unmarshal(sess, &st); err != nil {
+		s.m.migrations.With("in", "error").Inc()
 		log.Printf("meetupd %s: state decode failed: %v", s.name, err)
 		return
 	}
@@ -122,8 +266,24 @@ func (s *server) importState(conn net.Conn, br *bufio.Reader) {
 	s.state = st
 	s.serving = true
 	s.mu.Unlock()
+	s.m.migrations.With("in", "ok").Inc()
+	s.m.migBytes.With("in").Add(uint64(len(generic) + len(sess)))
+	s.m.migSeconds.Observe(time.Since(start).Seconds())
+	s.setStateGauges(st, true)
 	log.Printf("meetupd %s: imported state (seq=%d, %d keys, %d B generic)", s.name, st.Seq, len(st.Values), len(generic))
 	fmt.Fprintf(conn, "IMPORTED %d\n", st.Seq)
+}
+
+// setStateGauges publishes the session shape; call with a copy, outside mu.
+func (s *server) setStateGauges(st session, serving bool) {
+	s.m.stateKeys.Set(float64(len(st.Values)))
+	s.m.stateUsers.Set(float64(len(st.Users)))
+	s.m.seq.Set(float64(st.Seq))
+	if serving {
+		s.m.serving.Set(1)
+	} else {
+		s.m.serving.Set(0)
+	}
 }
 
 func (s *server) serveClient(conn net.Conn, br *bufio.Reader, first string) {
@@ -141,23 +301,38 @@ func (s *server) serveClient(conn net.Conn, br *bufio.Reader, first string) {
 	}
 }
 
+// countVerb bounds the verb label to the known command set.
+func (s *server) countVerb(verb string) {
+	switch verb {
+	case "JOIN", "SET", "GET", "SEQ", "QUIT":
+		s.m.commands.With(verb).Inc()
+	default:
+		s.m.commands.With("other").Inc()
+	}
+}
+
 func (s *server) execute(line string) (reply string, quit bool) {
 	fields := strings.Fields(line)
 	if len(fields) == 0 {
+		s.countVerb("other")
 		return "ERR empty command", false
 	}
+	verb := strings.ToUpper(fields[0])
+	s.countVerb(verb)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if !s.serving {
 		return "MOVED", true // the client must re-resolve the successor
 	}
-	switch strings.ToUpper(fields[0]) {
+	switch verb {
 	case "JOIN":
 		if len(fields) != 2 {
 			return "ERR usage: JOIN <name>", false
 		}
 		s.state.Users = append(s.state.Users, fields[1])
 		s.state.Seq++
+		s.m.stateUsers.Set(float64(len(s.state.Users)))
+		s.m.seq.Set(float64(s.state.Seq))
 		return fmt.Sprintf("WELCOME %s@%s seq=%d", fields[1], s.name, s.state.Seq), false
 	case "SET":
 		if len(fields) < 3 {
@@ -165,6 +340,8 @@ func (s *server) execute(line string) (reply string, quit bool) {
 		}
 		s.state.Values[fields[1]] = strings.Join(fields[2:], " ")
 		s.state.Seq++
+		s.m.stateKeys.Set(float64(len(s.state.Values)))
+		s.m.seq.Set(float64(s.state.Seq))
 		return fmt.Sprintf("OK seq=%d", s.state.Seq), false
 	case "GET":
 		if len(fields) != 2 {
@@ -216,6 +393,10 @@ func (s *server) handleAdmin(conn net.Conn) {
 // stop-and-copy cut-over of a live migration (the pre-copy rounds are
 // implicit here: session state is small, per §5's session/generic split).
 func (s *server) migrateTo(addr string) error {
+	start := time.Now()
+	outcome := "error"
+	defer func() { s.m.migrations.With("out", outcome).Inc() }()
+
 	s.mu.Lock()
 	if !s.serving {
 		s.mu.Unlock()
@@ -228,12 +409,14 @@ func (s *server) migrateTo(addr string) error {
 	}
 	s.serving = false // cut-over: stop accepting writes
 	s.mu.Unlock()
+	s.m.serving.Set(0)
 
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		s.mu.Lock()
 		s.serving = true // roll back: successor unreachable
 		s.mu.Unlock()
+		s.m.serving.Set(1)
 		return fmt.Errorf("dial successor: %w", err)
 	}
 	defer conn.Close()
@@ -247,6 +430,9 @@ func (s *server) migrateTo(addr string) error {
 	if err != nil {
 		return fmt.Errorf("successor ack: %w", err)
 	}
+	outcome = "ok"
+	s.m.migBytes.With("out").Add(uint64(len(payload)))
+	s.m.migSeconds.Observe(time.Since(start).Seconds())
 	log.Printf("meetupd %s: migrated to %s (%s)", s.name, addr, strings.TrimSpace(ack))
 	return nil
 }

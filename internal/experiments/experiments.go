@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"repro/internal/constellation"
+	"repro/internal/obs"
 )
 
 // ConstellationSet names the constellations a sweep covers.
@@ -53,17 +54,41 @@ func (cs ConstellationSet) build() ([]*constellation.Constellation, error) {
 	return out, nil
 }
 
+// progressDone counts completed parallelFor iterations process-wide; it is
+// the progress signal a long cmd/figures run exposes (each latitude, group,
+// or satellite sweep iteration bumps it once).
+var (
+	progressOnce sync.Once
+	progressDone *obs.Counter
+)
+
+func progress() *obs.Counter {
+	progressOnce.Do(func() {
+		progressDone = obs.Default().Counter("experiments_parallelfor_iterations_total",
+			"Completed parallelFor sweep iterations across all experiments.")
+	})
+	return progressDone
+}
+
+// Progress returns the cumulative number of sweep iterations completed by
+// all experiments in this process; callers diff it around a run to get a
+// sample count.
+func Progress() uint64 { return progress().Value() }
+
 // parallelFor runs fn(i) for i in [0,n) across CPUs, collecting the first
 // error. Experiment sweeps are embarrassingly parallel across latitudes and
 // user groups.
 func parallelFor(n int, fn func(i int) error) error {
+	done := progress()
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			err := fn(i)
+			done.Inc()
+			if err != nil {
 				return err
 			}
 		}
@@ -87,6 +112,7 @@ func parallelFor(n int, fn func(i int) error) error {
 					}
 					mu.Unlock()
 				}
+				done.Inc()
 			}
 		}()
 	}

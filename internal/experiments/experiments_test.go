@@ -652,3 +652,25 @@ func TestStickyAblationDefaults(t *testing.T) {
 		}
 	}
 }
+
+func TestParallelForProgress(t *testing.T) {
+	before := Progress()
+	if err := parallelFor(17, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got := Progress() - before; got != 17 {
+		t.Fatalf("progress delta = %d, want 17", got)
+	}
+	// An erroring iteration still counts as run. The serial path stops at
+	// the first error (3 iterations); the parallel path drains the feed (4).
+	before = Progress()
+	_ = parallelFor(4, func(i int) error {
+		if i == 2 {
+			return errTest
+		}
+		return nil
+	})
+	if got := Progress() - before; got < 3 || got > 4 {
+		t.Fatalf("progress delta with error = %d, want 3 or 4", got)
+	}
+}

@@ -41,8 +41,22 @@ const protocolVersion = 1
 // the receiver allocate unbounded memory.
 const maxFrame = 64 << 20
 
+// frameOverhead is the non-payload wire cost per frame: header + checksum.
+const frameOverhead = 14
+
 // WriteFrame writes one frame to w.
 func WriteFrame(w io.Writer, kind FrameKind, payload []byte) error {
+	if err := writeFrame(w, kind, payload); err != nil {
+		wire().errors.With("out").Inc()
+		return err
+	}
+	m := wire()
+	m.frames.With("out", kind.String()).Inc()
+	m.bytesOut.Add(uint64(len(payload)) + frameOverhead)
+	return nil
+}
+
+func writeFrame(w io.Writer, kind FrameKind, payload []byte) error {
 	if len(payload) > maxFrame {
 		return fmt.Errorf("migrate: frame payload %d exceeds %d bytes", len(payload), maxFrame)
 	}
@@ -69,6 +83,20 @@ func WriteFrame(w io.Writer, kind FrameKind, payload []byte) error {
 
 // ReadFrame reads and validates one frame from r.
 func ReadFrame(r io.Reader) (FrameKind, []byte, error) {
+	kind, payload, err := readFrame(r)
+	if err != nil {
+		if err != io.EOF { // a clean EOF between frames is not a decode error
+			wire().errors.With("in").Inc()
+		}
+		return kind, payload, err
+	}
+	m := wire()
+	m.frames.With("in", kind.String()).Inc()
+	m.bytesIn.Add(uint64(len(payload)) + frameOverhead)
+	return kind, payload, nil
+}
+
+func readFrame(r io.Reader) (FrameKind, []byte, error) {
 	header := make([]byte, 10)
 	if _, err := io.ReadFull(r, header); err != nil {
 		return 0, nil, err // propagate io.EOF unchanged for clean shutdown
@@ -99,22 +127,43 @@ func ReadFrame(r io.Reader) (FrameKind, []byte, error) {
 }
 
 // SendState streams a full migration over w: generic state first (may be
-// empty), then session state, then the cut-over marker.
+// empty), then session state, then the cut-over marker. Each phase is
+// recorded as a child span on the tracer installed via SetTracer.
 func SendState(w io.Writer, generic, session []byte) error {
+	root := tracer.Load().Start("migrate.send")
+	root.SetAttr("generic_bytes", fmt.Sprint(len(generic)))
+	root.SetAttr("session_bytes", fmt.Sprint(len(session)))
+	defer root.End()
+
 	if len(generic) > 0 {
-		if err := WriteFrame(w, FrameGeneric, generic); err != nil {
+		sp := root.Child("send.generic")
+		err := WriteFrame(w, FrameGeneric, generic)
+		sp.End()
+		if err != nil {
 			return err
 		}
 	}
-	if err := WriteFrame(w, FrameSession, session); err != nil {
+	sp := root.Child("send.session")
+	err := WriteFrame(w, FrameSession, session)
+	sp.End()
+	if err != nil {
 		return err
 	}
-	return WriteFrame(w, FrameCutover, nil)
+	sp = root.Child("send.cutover")
+	err = WriteFrame(w, FrameCutover, nil)
+	sp.End()
+	return err
 }
 
 // ReceiveState consumes frames until the cut-over marker and returns the
 // reassembled generic and session state.
 func ReceiveState(r io.Reader) (generic, session []byte, err error) {
+	root := tracer.Load().Start("migrate.receive")
+	defer func() {
+		root.SetAttr("generic_bytes", fmt.Sprint(len(generic)))
+		root.SetAttr("session_bytes", fmt.Sprint(len(session)))
+		root.End()
+	}()
 	for {
 		kind, payload, err := ReadFrame(r)
 		if err != nil {

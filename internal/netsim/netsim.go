@@ -8,6 +8,8 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+
+	"repro/internal/obs"
 )
 
 // Event is a scheduled callback.
@@ -53,10 +55,47 @@ type Sim struct {
 	seq    uint64
 	events eventHeap
 	ran    int
+	obs    *simObs // nil unless Instrument was called
 }
+
+// simObs holds the kernel's metric handles; the uninstrumented path pays a
+// single nil check per update site.
+type simObs struct {
+	queueDepth *obs.Gauge
+	eventsRun  *obs.Counter
+	queueWait  *obs.HistogramVec // per-resource job wait before service starts
+	util       *obs.GaugeVec     // per-resource busy fraction of sim time
+	jobs       *obs.CounterVec   // per-resource jobs submitted
+}
+
+// queueWaitBuckets spans sub-millisecond scheduling gaps to multi-minute
+// backlogs (simulated seconds).
+var queueWaitBuckets = []float64{0.001, 0.01, 0.1, 0.5, 1, 5, 10, 60, 300}
 
 // New creates a simulator starting at time 0.
 func New() *Sim { return &Sim{} }
+
+// Instrument registers the kernel's metrics on reg and starts updating them:
+// netsim_event_queue_depth, netsim_events_run_total, and per-resource
+// netsim_resource_queue_wait_seconds / netsim_resource_utilization /
+// netsim_resource_jobs_total. All values are in simulated time. Multiple
+// Sims instrumented on one registry share the families (the gauges then
+// reflect the most recent updater, counters aggregate).
+func (s *Sim) Instrument(reg *obs.Registry) {
+	s.obs = &simObs{
+		queueDepth: reg.Gauge("netsim_event_queue_depth",
+			"Pending events in the simulator queue (includes cancelled-but-unpopped)."),
+		eventsRun: reg.Counter("netsim_events_run_total",
+			"Events executed by the simulator kernel."),
+		queueWait: reg.HistogramVec("netsim_resource_queue_wait_seconds",
+			"Simulated seconds a job waits before its resource starts serving it.",
+			queueWaitBuckets, "resource"),
+		util: reg.GaugeVec("netsim_resource_utilization",
+			"Fraction of simulated time the resource has spent serving.", "resource"),
+		jobs: reg.CounterVec("netsim_resource_jobs_total",
+			"Jobs submitted to the resource.", "resource"),
+	}
+}
 
 // Now returns the current simulation time in seconds.
 func (s *Sim) Now() float64 { return s.now }
@@ -76,6 +115,9 @@ func (s *Sim) At(t float64, fn func()) (*Event, error) {
 	e := &Event{time: t, seq: s.seq, fn: fn}
 	s.seq++
 	heap.Push(&s.events, e)
+	if s.obs != nil {
+		s.obs.queueDepth.Set(float64(len(s.events)))
+	}
 	return e, nil
 }
 
@@ -109,11 +151,17 @@ func (s *Sim) Run(horizon float64) float64 {
 			break
 		}
 		heap.Pop(&s.events)
+		if s.obs != nil {
+			s.obs.queueDepth.Set(float64(len(s.events)))
+		}
 		if next.dead {
 			continue
 		}
 		s.now = next.time
 		s.ran++
+		if s.obs != nil {
+			s.obs.eventsRun.Inc()
+		}
 		next.fn()
 	}
 	if s.now < horizon && !math.IsInf(horizon, 1) {
@@ -182,8 +230,15 @@ func (r *Resource) Submit(size float64, done func(finish float64)) (float64, err
 	if r.queuedNow > r.queuedMax {
 		r.queuedMax = r.queuedNow
 	}
+	if o := r.sim.obs; o != nil {
+		o.jobs.With(r.name).Inc()
+		o.queueWait.With(r.name).Observe(start - r.sim.Now())
+	}
 	_, err := r.sim.At(finish, func() {
 		r.queuedNow--
+		if o := r.sim.obs; o != nil {
+			o.util.With(r.name).Set(r.Utilization())
+		}
 		if done != nil {
 			done(finish)
 		}

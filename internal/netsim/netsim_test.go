@@ -3,6 +3,8 @@ package netsim
 import (
 	"math"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func TestEventOrdering(t *testing.T) {
@@ -221,5 +223,61 @@ func TestManyEventsDeterministic(t *testing.T) {
 		if a[i] < a[i-1] {
 			t.Fatal("time went backwards")
 		}
+	}
+}
+
+func TestInstrumentedSim(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := New()
+	s.Instrument(reg)
+
+	r, err := NewResource(s, "downlink", 10) // 10 units/s
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two back-to-back jobs: the second queues behind the first for 1 s.
+	if _, err := r.Submit(10, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Submit(10, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.After(5, func() {}); err != nil {
+		t.Fatal(err)
+	}
+
+	depth := reg.Gauge("netsim_event_queue_depth", "")
+	if got := depth.Value(); got != 3 {
+		t.Fatalf("queue depth gauge = %v, want 3", got)
+	}
+	s.RunAll()
+	if got := depth.Value(); got != 0 {
+		t.Fatalf("queue depth after RunAll = %v, want 0", got)
+	}
+	if got := reg.Counter("netsim_events_run_total", "").Value(); got != 3 {
+		t.Fatalf("events run = %d, want 3", got)
+	}
+	if got := reg.CounterVec("netsim_resource_jobs_total", "", "resource").With("downlink").Value(); got != 2 {
+		t.Fatalf("jobs = %d, want 2", got)
+	}
+	wait := reg.HistogramVec("netsim_resource_queue_wait_seconds", "", queueWaitBuckets, "resource").With("downlink")
+	if wait.Count() != 2 || wait.Sum() != 1 {
+		t.Fatalf("queue wait count=%d sum=%v, want 2 observations summing 1s", wait.Count(), wait.Sum())
+	}
+	util := reg.GaugeVec("netsim_resource_utilization", "", "resource").With("downlink")
+	if got := util.Value(); got != 1 { // busy 2 s of the 2 s the resource ran
+		t.Fatalf("utilization = %v, want 1", got)
+	}
+}
+
+func TestUninstrumentedSimUnaffected(t *testing.T) {
+	s := New()
+	fired := false
+	if _, err := s.After(1, func() { fired = true }); err != nil {
+		t.Fatal(err)
+	}
+	s.RunAll()
+	if !fired {
+		t.Fatal("event did not fire")
 	}
 }

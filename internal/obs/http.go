@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+)
+
+// ServeHTTP exposes the registry at its mount point: Prometheus text by
+// default, JSON with ?format=json.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	if req.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = r.WriteJSON(w)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = r.WritePrometheus(w)
+}
+
+// DebugMux builds the standard debug surface for a daemon:
+//
+//	/metrics        the registry (Prometheus text; ?format=json for JSON)
+//	/healthz        liveness ("ok")
+//	/debug/vars     expvar
+//	/debug/pprof/*  net/http/pprof profiles
+//
+// Mount it on a loopback or otherwise access-controlled listener: pprof and
+// expvar expose process internals.
+func DebugMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// RuntimeMetrics is a set of Go runtime gauges (goroutines, heap bytes, GC
+// cycles). Call Collect from a scrape hook or periodically — the gauges are
+// snapshots, not self-updating.
+type RuntimeMetrics struct {
+	goroutines *Gauge
+	heapAlloc  *Gauge
+	totalAlloc *Gauge
+	numGC      *Gauge
+}
+
+// RegisterRuntimeMetrics registers the go_* gauge families on reg.
+func RegisterRuntimeMetrics(reg *Registry) *RuntimeMetrics {
+	return &RuntimeMetrics{
+		goroutines: reg.Gauge("go_goroutines", "Number of live goroutines."),
+		heapAlloc:  reg.Gauge("go_heap_alloc_bytes", "Bytes of allocated heap objects."),
+		totalAlloc: reg.Gauge("go_total_alloc_bytes", "Cumulative bytes allocated on the heap."),
+		numGC:      reg.Gauge("go_gc_cycles", "Completed GC cycles."),
+	}
+}
+
+// Collect refreshes the runtime gauges from runtime.ReadMemStats.
+func (m *RuntimeMetrics) Collect() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	m.goroutines.Set(float64(runtime.NumGoroutine()))
+	m.heapAlloc.Set(float64(ms.HeapAlloc))
+	m.totalAlloc.Set(float64(ms.TotalAlloc))
+	m.numGC.Set(float64(ms.NumGC))
+}

@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestDebugMux(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("demo_total", "Demo.").Add(3)
+	rt := RegisterRuntimeMetrics(reg)
+	rt.Collect()
+	srv := httptest.NewServer(DebugMux(reg))
+	defer srv.Close()
+
+	code, body := get(t, srv, "/metrics")
+	if code != 200 || !strings.Contains(body, "demo_total 3") {
+		t.Fatalf("/metrics = %d:\n%s", code, body)
+	}
+	if !strings.Contains(body, "go_goroutines") {
+		t.Fatalf("/metrics missing runtime gauges:\n%s", body)
+	}
+
+	code, body = get(t, srv, "/metrics?format=json")
+	var snap []FamilySnapshot
+	if code != 200 || json.Unmarshal([]byte(body), &snap) != nil {
+		t.Fatalf("/metrics?format=json = %d:\n%s", code, body)
+	}
+
+	code, body = get(t, srv, "/healthz")
+	if code != 200 || strings.TrimSpace(body) != "ok" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+
+	code, body = get(t, srv, "/debug/vars")
+	if code != 200 || !strings.Contains(body, "memstats") {
+		t.Fatalf("/debug/vars = %d", code)
+	}
+
+	code, body = get(t, srv, "/debug/pprof/")
+	if code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ = %d", code)
+	}
+}

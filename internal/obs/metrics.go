@@ -1,0 +1,445 @@
+// Package obs is the repo's stdlib-only observability layer: a metrics
+// registry (labelled counters, gauges, and fixed-bucket histograms with
+// lock-cheap atomic updates and Prometheus-text/JSON exposition), a span
+// tracer with an injectable clock (so simulated time can drive spans
+// deterministically), and the debug HTTP surface (/metrics, /healthz,
+// expvar, pprof) that cmd/meetupd mounts behind -debug.
+//
+// Design notes: metric families are registered once (re-registration with
+// identical kind and label names returns the existing family; a mismatch
+// panics — it is a programming error on par with redeclaring a variable).
+// Hot paths hold the concrete *Counter/*Gauge/*Histogram and update it with
+// a single atomic op; label resolution (With) costs one RLock map hit and
+// should be hoisted out of loops.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind names a metric family type.
+type Kind string
+
+// The metric family kinds.
+const (
+	KindCounter   Kind = "counter"
+	KindGauge     Kind = "gauge"
+	KindHistogram Kind = "histogram"
+)
+
+// DefBuckets is the default histogram bucketing (seconds-flavoured, matching
+// the Prometheus convention).
+var DefBuckets = []float64{0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct{ n atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.n.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n.Load() }
+
+// Gauge is a float64 metric that can go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the value by delta.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed cumulative buckets.
+type Histogram struct {
+	bounds  []float64 // sorted upper bounds; +Inf bucket is implicit
+	counts  []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// labelKey joins label values with a separator that cannot appear in them
+// unescaped ambiguity-free (0xff is invalid UTF-8, fine for a map key).
+func labelKey(values []string) string { return strings.Join(values, "\xff") }
+
+type family struct {
+	name    string
+	help    string
+	kind    Kind
+	labels  []string
+	buckets []float64 // histograms only
+
+	mu       sync.RWMutex
+	children map[string]any      // labelKey -> *Counter | *Gauge | *Histogram
+	values   map[string][]string // labelKey -> label values
+}
+
+func (f *family) child(values []string, make func() any) any {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := labelKey(values)
+	f.mu.RLock()
+	c, ok := f.children[key]
+	f.mu.RUnlock()
+	if ok {
+		return c
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[key]; ok {
+		return c
+	}
+	c = make()
+	f.children[key] = c
+	f.values[key] = append([]string(nil), values...)
+	return c
+}
+
+// CounterVec is a counter family with labels.
+type CounterVec struct{ f *family }
+
+// With returns the counter for the given label values (created on first use).
+func (v *CounterVec) With(values ...string) *Counter {
+	return v.f.child(values, func() any { return &Counter{} }).(*Counter)
+}
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for the given label values (created on first use).
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return v.f.child(values, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	f := v.f
+	return f.child(values, func() any { return newHistogram(f.buckets) }).(*Histogram)
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	return &Histogram{bounds: buckets, counts: make([]atomic.Uint64, len(buckets)+1)}
+}
+
+// Registry holds metric families. The zero value is not usable; call
+// NewRegistry (or use Default).
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry { return &Registry{families: map[string]*family{}} }
+
+var (
+	defaultOnce sync.Once
+	defaultReg  *Registry
+)
+
+// Default returns the process-wide registry shared by instrumented packages.
+func Default() *Registry {
+	defaultOnce.Do(func() { defaultReg = NewRegistry() })
+	return defaultReg
+}
+
+func (r *Registry) register(name, help string, kind Kind, labels, buckets []string, bounds []float64) *family {
+	if name == "" {
+		panic("obs: empty metric name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind || labelKey(f.labels) != labelKey(labels) {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s%v, was %s%v", name, kind, labels, f.kind, f.labels))
+		}
+		return f
+	}
+	f := &family{
+		name:     name,
+		help:     help,
+		kind:     kind,
+		labels:   append([]string(nil), labels...),
+		buckets:  bounds,
+		children: map[string]any{},
+		values:   map[string][]string{},
+	}
+	r.families[name] = f
+	return f
+}
+
+// Counter registers (or fetches) an unlabelled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.register(name, help, KindCounter, nil, nil, nil)
+	return f.child(nil, func() any { return &Counter{} }).(*Counter)
+}
+
+// CounterVec registers (or fetches) a labelled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.register(name, help, KindCounter, labels, nil, nil)}
+}
+
+// Gauge registers (or fetches) an unlabelled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.register(name, help, KindGauge, nil, nil, nil)
+	return f.child(nil, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// GaugeVec registers (or fetches) a labelled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.register(name, help, KindGauge, labels, nil, nil)}
+}
+
+// Histogram registers (or fetches) an unlabelled histogram. A nil buckets
+// slice uses DefBuckets. Buckets must be sorted ascending.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	f := r.register(name, help, KindHistogram, nil, nil, checkBuckets(name, buckets))
+	bounds := f.buckets
+	return f.child(nil, func() any { return newHistogram(bounds) }).(*Histogram)
+}
+
+// HistogramVec registers (or fetches) a labelled histogram family.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{r.register(name, help, KindHistogram, labels, nil, checkBuckets(name, buckets))}
+}
+
+func checkBuckets(name string, buckets []float64) []float64 {
+	if len(buckets) == 0 {
+		return DefBuckets
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q buckets not strictly ascending at %d", name, i))
+		}
+	}
+	return append([]float64(nil), buckets...)
+}
+
+// Bucket is one cumulative histogram bucket in a snapshot. It serialises
+// the bound as a string ("+Inf" included) because JSON has no infinity.
+type Bucket struct {
+	UpperBound float64
+	Count      uint64 // cumulative: observations <= UpperBound
+}
+
+type bucketJSON struct {
+	Le    string `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// MarshalJSON renders the bound as a string so +Inf survives.
+func (b Bucket) MarshalJSON() ([]byte, error) {
+	return json.Marshal(bucketJSON{Le: formatLe(b.UpperBound), Count: b.Count})
+}
+
+// UnmarshalJSON parses the string bound back, accepting "+Inf".
+func (b *Bucket) UnmarshalJSON(data []byte) error {
+	var raw bucketJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	if raw.Le == "+Inf" {
+		b.UpperBound = math.Inf(1)
+	} else {
+		v, err := strconv.ParseFloat(raw.Le, 64)
+		if err != nil {
+			return err
+		}
+		b.UpperBound = v
+	}
+	b.Count = raw.Count
+	return nil
+}
+
+// Sample is one labelled series in a snapshot.
+type Sample struct {
+	Labels  map[string]string `json:"labels,omitempty"`
+	Value   float64           `json:"value"`             // counter/gauge value; histogram sum
+	Count   uint64            `json:"count,omitempty"`   // histogram only
+	Buckets []Bucket          `json:"buckets,omitempty"` // histogram only, cumulative
+}
+
+// FamilySnapshot is the point-in-time state of one metric family.
+type FamilySnapshot struct {
+	Name    string   `json:"name"`
+	Help    string   `json:"help,omitempty"`
+	Kind    Kind     `json:"kind"`
+	Samples []Sample `json:"samples"`
+}
+
+// Snapshot returns all families sorted by name, samples sorted by label key.
+func (r *Registry) Snapshot() []FamilySnapshot {
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	out := make([]FamilySnapshot, 0, len(fams))
+	for _, f := range fams {
+		fs := FamilySnapshot{Name: f.name, Help: f.help, Kind: f.kind}
+		f.mu.RLock()
+		keys := make([]string, 0, len(f.children))
+		for k := range f.children {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := Sample{}
+			if len(f.labels) > 0 {
+				s.Labels = map[string]string{}
+				for i, lv := range f.values[k] {
+					s.Labels[f.labels[i]] = lv
+				}
+			}
+			switch m := f.children[k].(type) {
+			case *Counter:
+				s.Value = float64(m.Value())
+			case *Gauge:
+				s.Value = m.Value()
+			case *Histogram:
+				s.Value = m.Sum()
+				s.Count = m.Count()
+				cum := uint64(0)
+				for i, b := range m.bounds {
+					cum += m.counts[i].Load()
+					s.Buckets = append(s.Buckets, Bucket{UpperBound: b, Count: cum})
+				}
+				cum += m.counts[len(m.bounds)].Load()
+				s.Buckets = append(s.Buckets, Bucket{UpperBound: math.Inf(1), Count: cum})
+			}
+			fs.Samples = append(fs.Samples, s)
+		}
+		f.mu.RUnlock()
+		out = append(out, fs)
+	}
+	return out
+}
+
+// WriteJSON writes the snapshot as a JSON array.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	for _, fam := range r.Snapshot() {
+		if fam.Help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", fam.Name, escapeHelp(fam.Help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", fam.Name, fam.Kind)
+		for _, s := range fam.Samples {
+			switch fam.Kind {
+			case KindHistogram:
+				for _, bk := range s.Buckets {
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", fam.Name, labelString(s.Labels, "le", formatLe(bk.UpperBound)), bk.Count)
+				}
+				fmt.Fprintf(&b, "%s_sum%s %s\n", fam.Name, labelString(s.Labels, "", ""), formatValue(s.Value))
+				fmt.Fprintf(&b, "%s_count%s %d\n", fam.Name, labelString(s.Labels, "", ""), s.Count)
+			default:
+				fmt.Fprintf(&b, "%s%s %s\n", fam.Name, labelString(s.Labels, "", ""), formatValue(s.Value))
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func formatLe(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return formatValue(v)
+}
+
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// labelString renders {k="v",...} with labels sorted, optionally appending
+// one extra pair (used for the histogram "le" label).
+func labelString(labels map[string]string, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	// %q escapes backslash, quote, and newline — the three characters the
+	// Prometheus text format requires escaped in label values.
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	if extraKey != "" {
+		if len(keys) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", extraKey, extraVal)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+var helpEscaper = strings.NewReplacer("\\", "\\\\", "\n", "\\n")
+
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }

@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Tracer records parent/child spans against an injectable clock. A nil
+// *Tracer is a valid no-op: every method (and every method of the nil
+// *Span it hands out) does nothing, so instrumented code never needs nil
+// checks on its hot path.
+type Tracer struct {
+	now func() float64 // seconds; wall or simulated
+
+	mu       sync.Mutex
+	nextID   uint64
+	finished []SpanRecord
+}
+
+// SpanRecord is one completed span.
+type SpanRecord struct {
+	ID     uint64            `json:"id"`
+	Parent uint64            `json:"parent,omitempty"` // 0 = root
+	Name   string            `json:"name"`
+	Start  float64           `json:"start"` // seconds on the tracer clock
+	End    float64           `json:"end"`
+	Attrs  map[string]string `json:"attrs,omitempty"`
+}
+
+// Duration returns the span length in seconds.
+func (r SpanRecord) Duration() float64 { return r.End - r.Start }
+
+// NewTracer creates a tracer. A nil clock uses wall time; pass a simulation
+// clock (e.g. netsim's Sim.Now) to drive spans from simulated time
+// deterministically.
+func NewTracer(clock func() float64) *Tracer {
+	if clock == nil {
+		epoch := time.Now()
+		clock = func() float64 { return time.Since(epoch).Seconds() }
+	}
+	return &Tracer{now: clock}
+}
+
+// Span is an in-flight span. Create via Tracer.Start or Span.Child; finish
+// with End. A nil *Span is a valid no-op.
+type Span struct {
+	t      *Tracer
+	id     uint64
+	parent uint64
+	name   string
+	start  float64
+
+	mu    sync.Mutex
+	attrs map[string]string
+	ended bool
+}
+
+// Start begins a root span.
+func (t *Tracer) Start(name string) *Span { return t.start(name, 0) }
+
+func (t *Tracer) start(name string, parent uint64) *Span {
+	if t == nil {
+		return nil
+	}
+	start := t.now()
+	t.mu.Lock()
+	t.nextID++
+	id := t.nextID
+	t.mu.Unlock()
+	return &Span{t: t, id: id, parent: parent, name: name, start: start}
+}
+
+// Child begins a span nested under s.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.t.start(name, s.id)
+}
+
+// SetAttr attaches a key/value annotation to the span.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = map[string]string{}
+	}
+	s.attrs[key] = value
+	s.mu.Unlock()
+}
+
+// End finishes the span, records it with the tracer, and returns its
+// duration in seconds. Ending twice records once.
+func (s *Span) End() float64 {
+	if s == nil {
+		return 0
+	}
+	end := s.t.now()
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return 0
+	}
+	s.ended = true
+	attrs := s.attrs
+	s.mu.Unlock()
+
+	rec := SpanRecord{ID: s.id, Parent: s.parent, Name: s.name, Start: s.start, End: end, Attrs: attrs}
+	s.t.mu.Lock()
+	s.t.finished = append(s.t.finished, rec)
+	s.t.mu.Unlock()
+	return rec.Duration()
+}
+
+// Records returns a copy of all finished spans in completion order.
+func (t *Tracer) Records() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]SpanRecord(nil), t.finished...)
+}
+
+// Len returns the number of finished spans.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.finished)
+}
+
+// WriteChromeTrace exports finished spans as Chrome trace-event JSON, one
+// complete ("ph":"X") event per line inside a JSON array, so the output is
+// both line-greppable and loadable in about://tracing / Perfetto.
+// Timestamps are the tracer clock scaled to microseconds.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, "[]\n")
+		return err
+	}
+	recs := t.Records()
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Start < recs[j].Start })
+	var b strings.Builder
+	b.WriteString("[\n")
+	for i, r := range recs {
+		args := map[string]string{"span_id": fmt.Sprint(r.ID)}
+		if r.Parent != 0 {
+			args["parent_id"] = fmt.Sprint(r.Parent)
+		}
+		for k, v := range r.Attrs {
+			args[k] = v
+		}
+		ev := map[string]any{
+			"name": r.Name,
+			"ph":   "X",
+			"pid":  1,
+			"tid":  1,
+			"ts":   r.Start * 1e6,
+			"dur":  r.Duration() * 1e6,
+			"args": args,
+		}
+		line, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		b.Write(line)
+		if i < len(recs)-1 {
+			b.WriteByte(',')
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("]\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fakeClock is a hand-advanced clock for deterministic spans.
+type fakeClock struct{ t float64 }
+
+func (c *fakeClock) now() float64      { return c.t }
+func (c *fakeClock) advance(d float64) { c.t += d }
+
+func TestSpanParentChild(t *testing.T) {
+	clk := &fakeClock{}
+	tr := NewTracer(clk.now)
+
+	root := tr.Start("fig1")
+	clk.advance(1)
+	child := root.Child("sweep")
+	child.SetAttr("constellation", "starlink")
+	clk.advance(2)
+	if d := child.End(); d != 2 {
+		t.Fatalf("child duration = %v, want 2", d)
+	}
+	clk.advance(0.5)
+	if d := root.End(); d != 3.5 {
+		t.Fatalf("root duration = %v, want 3.5", d)
+	}
+
+	recs := tr.Records()
+	if len(recs) != 2 {
+		t.Fatalf("records = %d, want 2", len(recs))
+	}
+	// Completion order: child first.
+	if recs[0].Name != "sweep" || recs[1].Name != "fig1" {
+		t.Fatalf("order = %s, %s", recs[0].Name, recs[1].Name)
+	}
+	if recs[0].Parent != recs[1].ID {
+		t.Fatalf("child parent = %d, root id = %d", recs[0].Parent, recs[1].ID)
+	}
+	if recs[0].Attrs["constellation"] != "starlink" {
+		t.Fatalf("attrs = %v", recs[0].Attrs)
+	}
+	if recs[0].Start != 1 || recs[0].End != 3 {
+		t.Fatalf("child times = [%v, %v], want [1, 3]", recs[0].Start, recs[0].End)
+	}
+}
+
+func TestSpanDoubleEnd(t *testing.T) {
+	clk := &fakeClock{}
+	tr := NewTracer(clk.now)
+	s := tr.Start("x")
+	s.End()
+	s.End()
+	if tr.Len() != 1 {
+		t.Fatalf("double End recorded %d spans", tr.Len())
+	}
+}
+
+func TestNilTracerNoops(t *testing.T) {
+	var tr *Tracer
+	s := tr.Start("ignored")
+	s.SetAttr("k", "v")
+	c := s.Child("also ignored")
+	c.End()
+	if d := s.End(); d != 0 {
+		t.Fatalf("nil span End = %v", d)
+	}
+	if tr.Len() != 0 || tr.Records() != nil {
+		t.Fatal("nil tracer accumulated state")
+	}
+	var b strings.Builder
+	if err := tr.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(b.String()) != "[]" {
+		t.Fatalf("nil tracer trace = %q", b.String())
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	clk := &fakeClock{}
+	tr := NewTracer(clk.now)
+	a := tr.Start("outer")
+	clk.advance(0.001)
+	bSpan := a.Child("inner")
+	clk.advance(0.002)
+	bSpan.End()
+	a.End()
+
+	var b strings.Builder
+	if err := tr.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(out), &events); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, out)
+	}
+	if len(events) != 2 {
+		t.Fatalf("events = %d, want 2", len(events))
+	}
+	// Sorted by start time: outer first.
+	if events[0]["name"] != "outer" || events[0]["ph"] != "X" {
+		t.Fatalf("event[0] = %v", events[0])
+	}
+	if dur := events[1]["dur"].(float64); dur != 2000 { // 2 ms in µs
+		t.Fatalf("inner dur = %v µs, want 2000", dur)
+	}
+	// One event per line: line count = events + 2 brackets.
+	if got := strings.Count(strings.TrimSpace(out), "\n"); got != 3 {
+		t.Fatalf("trace not line-oriented (%d newlines):\n%s", got, out)
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				s := tr.Start("work")
+				s.Child("sub").End()
+				s.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Len() != 8*200*2 {
+		t.Fatalf("spans = %d, want %d", tr.Len(), 8*200*2)
+	}
+}
+
+func TestWallClockMonotonic(t *testing.T) {
+	tr := NewTracer(nil)
+	s := tr.Start("tick")
+	if d := s.End(); d < 0 {
+		t.Fatalf("negative duration %v", d)
+	}
+}
