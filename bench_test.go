@@ -7,11 +7,19 @@ package inorbit
 // b.ReportMetric so `go test -bench` output doubles as a results table.
 
 import (
+	"sync/atomic"
 	"testing"
+	"time"
 
+	"repro/internal/constellation"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
+	"repro/internal/geo"
 	"repro/internal/meetup"
+	"repro/internal/obs"
 	"repro/internal/power"
+	"repro/internal/trace"
+	"repro/internal/visibility"
 )
 
 // fastSweep keeps Fig 1/2 benches to a few hundred ms per iteration.
@@ -399,4 +407,161 @@ func BenchmarkExtensionCDNDistribution(b *testing.B) {
 		orbitalP95 = rows[1].P95Ms
 	}
 	b.ReportMetric(orbitalP95, "orbital-p95-ms-over-cities")
+}
+
+// Fleet-scale control-plane benchmarks (PR 2).
+
+// BenchmarkReachableLinearVsIndex times the same reachable-set queries
+// through the O(N) linear scan and the footprint index, and reports the
+// speed-up — the index must win by ≥5× at 4,409 satellites.
+//
+// The headline metric compares CountReachable with CountReachableFrom:
+// set determination with identical per-hit work on both sides, which is
+// what the fleet hot path performs. The full Pass-materialising pair
+// (Reachable vs ReachableFrom) is also timed — its ratio is smaller
+// because ~30 visible satellites each pay the same ElevationDeg asin on
+// both sides, a per-hit cost no index can remove — and cross-validated
+// for agreement.
+func BenchmarkReachableLinearVsIndex(b *testing.B) {
+	c, err := constellation.StarlinkPhase1(constellation.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	obs := visibility.NewObserver(c)
+	ix, err := fleet.NewIndex(c, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	snap := c.Snapshot(0)
+	ix.Rebuild(snap)
+	var grounds []geo.Vec3
+	for lat := -55.0; lat <= 55; lat += 11 {
+		for lon := -180.0; lon < 180; lon += 45 {
+			grounds = append(grounds, geo.LatLon{LatDeg: lat, LonDeg: lon}.ECEF())
+		}
+	}
+	var buf []visibility.Pass
+	var linearNs, indexNs, fullLinearNs, fullIndexNs, checksum int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		for _, g := range grounds {
+			checksum += int64(obs.CountReachable(g, snap))
+		}
+		linearNs += time.Since(start).Nanoseconds()
+		start = time.Now()
+		for _, g := range grounds {
+			checksum -= int64(ix.CountReachableFrom(g))
+		}
+		indexNs += time.Since(start).Nanoseconds()
+		start = time.Now()
+		for _, g := range grounds {
+			buf = obs.Reachable(g, snap, buf[:0])
+			checksum += int64(len(buf))
+		}
+		fullLinearNs += time.Since(start).Nanoseconds()
+		start = time.Now()
+		for _, g := range grounds {
+			buf = ix.ReachableFrom(g, buf[:0])
+			checksum -= int64(len(buf))
+		}
+		fullIndexNs += time.Since(start).Nanoseconds()
+	}
+	b.StopTimer()
+	if checksum != 0 {
+		b.Fatalf("index and linear scan disagree on reachable counts (checksum %d)", checksum)
+	}
+	if indexNs > 0 {
+		b.ReportMetric(float64(linearNs)/float64(indexNs), "index-speedup-x")
+	}
+	if fullIndexNs > 0 {
+		b.ReportMetric(float64(fullLinearNs)/float64(fullIndexNs), "pass-speedup-x")
+	}
+	b.ReportMetric(float64(indexNs)/float64(b.N)/float64(len(grounds)), "index-query-ns")
+}
+
+// BenchmarkFleetIndexRebuild times re-bucketing all 4,409 satellites — the
+// per-epoch fixed cost of the footprint index.
+func BenchmarkFleetIndexRebuild(b *testing.B) {
+	c, err := constellation.StarlinkPhase1(constellation.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix, err := fleet.NewIndex(c, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	snap := c.Snapshot(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Rebuild(snap)
+	}
+}
+
+// BenchmarkFleetEpoch runs real planner epochs over Starlink with a 5k
+// session population — the steady-state cost of the control plane, scaled
+// down 20× from the 100k cmd/fleetsim run.
+func BenchmarkFleetEpoch(b *testing.B) {
+	c, err := constellation.StarlinkPhase1(constellation.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	orch, err := fleet.New(c, nil, fleet.Config{Registry: obs.NewRegistry()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	groups, err := trace.Groups(trace.GroupConfig{
+		Seed: 7, Groups: 5000, MinUsers: 2, MaxUsers: 5, SpreadKm: 300, MaxAbsLatDeg: 55,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i, g := range groups {
+		s, err := fleet.NewSession(uint64(i+1), g.Users)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := orch.Submit(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := orch.Start(0); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := orch.Step(); err != nil { // absorb the initial placement wave
+		b.Fatal(err)
+	}
+	handoffs := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := orch.Step()
+		if err != nil {
+			b.Fatal(err)
+		}
+		handoffs += rep.Handoffs
+	}
+	b.ReportMetric(float64(handoffs)/float64(b.N), "handoffs-per-epoch")
+}
+
+// BenchmarkFleetTableOps measures the sharded session table under
+// concurrent mixed put/get/delete traffic.
+func BenchmarkFleetTableOps(b *testing.B) {
+	tab := fleet.NewTable(0)
+	var next atomic.Uint64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			id := next.Add(1)
+			if err := tab.Put(&fleet.Session{ID: id}); err != nil {
+				b.Error(err)
+				return
+			}
+			if _, ok := tab.Get(id); !ok {
+				b.Error("lost session")
+				return
+			}
+			if id%4 == 0 {
+				tab.Delete(id)
+			}
+		}
+	})
 }

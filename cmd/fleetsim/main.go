@@ -1,0 +1,339 @@
+// Command fleetsim exercises the fleet-scale control plane: it generates
+// city-weighted session groups, runs the epoch-batched orchestrator over a
+// multi-hour simulated window on a full constellation, and reports
+// placement latency, hand-off rate, rejections, and the satellite load
+// distribution — the paper's compute-as-a-service story at fleet scale.
+//
+// Usage:
+//
+//	fleetsim -name starlink -sessions 100000 -hours 2
+//	fleetsim -sessions 5000 -hours 0.5 -csv fleet.csv -debug 127.0.0.1:8090
+//
+// Everything that shapes the simulation is seeded, so a given flag set
+// reproduces the same placements, hand-offs, and CSV bit-for-bit; only the
+// wall-clock latency figures vary between runs.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+
+	"repro/internal/constellation"
+	"repro/internal/fleet"
+	"repro/internal/obs"
+	"repro/internal/plot"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+type options struct {
+	name     string
+	sessions int
+	hours    float64
+	stepSec  float64
+	seed     int64
+	spreadKm float64
+	minUsers int
+	maxUsers int
+	churn    float64 // extra transient arrivals per second
+	dwellSec float64 // mean lifetime of transient sessions
+	csvPath  string
+	debug    string
+	progress bool
+}
+
+func parseFlags(args []string) (options, error) {
+	fs := flag.NewFlagSet("fleetsim", flag.ContinueOnError)
+	var o options
+	fs.StringVar(&o.name, "name", "starlink", "constellation: starlink, kuiper, telesat")
+	fs.IntVar(&o.sessions, "sessions", 100000, "concurrent long-lived sessions")
+	fs.Float64Var(&o.hours, "hours", 2, "simulated window in hours")
+	fs.Float64Var(&o.stepSec, "step", 60, "planner epoch in simulated seconds")
+	fs.Int64Var(&o.seed, "seed", 1, "workload seed")
+	fs.Float64Var(&o.spreadKm, "spread", 300, "max user distance from the group's anchor city (km)")
+	fs.IntVar(&o.minUsers, "minusers", 2, "smallest group size")
+	fs.IntVar(&o.maxUsers, "maxusers", 5, "largest group size")
+	fs.Float64Var(&o.churn, "churn", 2, "transient session arrivals per second (0 disables churn)")
+	fs.Float64Var(&o.dwellSec, "dwell", 1800, "mean transient session lifetime in seconds")
+	fs.StringVar(&o.csvPath, "csv", "", "per-epoch CSV output path (empty = off)")
+	fs.StringVar(&o.debug, "debug", "", "debug listen address for /metrics, /healthz, /debug/pprof (empty = off)")
+	fs.BoolVar(&o.progress, "v", false, "log per-epoch progress to stderr")
+	if err := fs.Parse(args); err != nil {
+		return o, err
+	}
+	if o.sessions <= 0 {
+		return o, fmt.Errorf("sessions %d must be positive", o.sessions)
+	}
+	if o.hours <= 0 {
+		return o, fmt.Errorf("hours %v must be positive", o.hours)
+	}
+	if o.minUsers <= 0 || o.maxUsers < o.minUsers {
+		return o, fmt.Errorf("bad user bounds [%d,%d]", o.minUsers, o.maxUsers)
+	}
+	if o.churn < 0 || o.dwellSec <= 0 {
+		return o, fmt.Errorf("churn %v and dwell %v must be non-negative/positive", o.churn, o.dwellSec)
+	}
+	return o, nil
+}
+
+func buildNamed(name string) (*constellation.Constellation, error) {
+	switch name {
+	case "starlink":
+		return constellation.StarlinkPhase1(constellation.Config{})
+	case "kuiper":
+		return constellation.Kuiper(constellation.Config{})
+	case "telesat":
+		return constellation.Telesat(constellation.Config{})
+	}
+	return nil, fmt.Errorf("unknown constellation %q (want starlink, kuiper, telesat)", name)
+}
+
+// arrival is one transient session joining mid-run.
+type arrival struct {
+	at   float64
+	sess *fleet.Session
+}
+
+// buildWorkload generates the seeded session population: o.sessions
+// long-lived groups plus a Poisson stream of transient ones.
+func buildWorkload(o options, horizonSec float64) (persistent []*fleet.Session, churn []arrival, err error) {
+	times := trace.Poisson(o.seed+1, o.churn, horizonSec)
+	groups, err := trace.Groups(trace.GroupConfig{
+		Seed:         o.seed,
+		Groups:       o.sessions + len(times),
+		MinUsers:     o.minUsers,
+		MaxUsers:     o.maxUsers,
+		SpreadKm:     o.spreadKm,
+		MaxAbsLatDeg: 55, // inside every preset's coverage band
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	r := rand.New(rand.NewSource(o.seed + 2))
+	for i, g := range groups {
+		s, err := fleet.NewSession(uint64(i+1), g.Users)
+		if err != nil {
+			return nil, nil, err
+		}
+		s.StateMB = trace.StateSizeMB(r, 64, 0.5)
+		if i < o.sessions {
+			persistent = append(persistent, s)
+			continue
+		}
+		at := times[i-o.sessions]
+		s.ExpiresAt = at + r.ExpFloat64()*o.dwellSec
+		churn = append(churn, arrival{at: at, sess: s})
+	}
+	return persistent, churn, nil
+}
+
+func run(out io.Writer, o options) error {
+	c, err := buildNamed(o.name)
+	if err != nil {
+		return err
+	}
+	reg := obs.NewRegistry()
+	orch, err := fleet.New(c, nil, fleet.Config{StepSec: o.stepSec, Registry: reg})
+	if err != nil {
+		return err
+	}
+
+	if o.debug != "" {
+		ln, err := net.Listen("tcp", o.debug)
+		if err != nil {
+			return fmt.Errorf("debug listen: %w", err)
+		}
+		defer ln.Close()
+		rt := obs.RegisterRuntimeMetrics(reg)
+		mux := obs.DebugMux(reg)
+		go http.Serve(ln, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			rt.Collect()
+			mux.ServeHTTP(w, r)
+		}))
+		log.Printf("fleetsim: debug endpoint on http://%s/metrics", ln.Addr())
+	}
+
+	horizonSec := o.hours * 3600
+	persistent, churn, err := buildWorkload(o, horizonSec)
+	if err != nil {
+		return err
+	}
+	if err := orch.SubmitBatch(persistent); err != nil {
+		return err
+	}
+	if err := orch.Start(0); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "%s: %d satellites — %d sessions + %.1f/s churn over %.1f h, %vs epochs (seed %d)\n",
+		c.Name, c.Size(), o.sessions, o.churn, o.hours, o.stepSec, o.seed)
+
+	epochs := int(horizonSec / o.stepSec)
+	var (
+		tS, sessS, assignS, handS, rejS, placeS, departS, utilS []float64
+
+		totalHandoffs, totalRejections, totalPlacements, totalDepartures int
+		transfer, downtime                                               stats.Summary
+		peakSessions                                                     int
+		nextArrival                                                      int
+	)
+	for e := 0; e < epochs; e++ {
+		for nextArrival < len(churn) && churn[nextArrival].at <= orch.Now() {
+			if err := orch.Submit(churn[nextArrival].sess); err != nil {
+				return err
+			}
+			nextArrival++
+		}
+		rep, err := orch.Step()
+		if err != nil {
+			return err
+		}
+		totalHandoffs += rep.Handoffs
+		totalRejections += rep.Rejections
+		totalPlacements += rep.Placements
+		totalDepartures += rep.Departures
+		if rep.Transfer.N() > 0 {
+			transfer.Add(rep.Transfer.Mean())
+			downtime.Add(rep.Downtime.Mean())
+		}
+		if rep.Sessions > peakSessions {
+			peakSessions = rep.Sessions
+		}
+		tS = append(tS, rep.TSec)
+		sessS = append(sessS, float64(rep.Sessions))
+		assignS = append(assignS, float64(rep.Assigned))
+		handS = append(handS, float64(rep.Handoffs))
+		rejS = append(rejS, float64(rep.Rejections))
+		placeS = append(placeS, float64(rep.Placements))
+		departS = append(departS, float64(rep.Departures))
+		utilS = append(utilS, rep.MeanUtilization)
+		if o.progress {
+			log.Printf("t=%6.0fs sessions=%d assigned=%d handoffs=%d rejected=%d wall=%.2fs",
+				rep.TSec, rep.Sessions, rep.Assigned, rep.Handoffs, rep.Rejections, rep.WallSec)
+		}
+	}
+
+	if o.csvPath != "" {
+		f, err := os.Create(o.csvPath)
+		if err != nil {
+			return err
+		}
+		w := bufio.NewWriter(f)
+		err = plot.WriteCSV(w,
+			plot.Series{Name: "sessions", X: tS, Y: sessS},
+			plot.Series{Name: "assigned", X: tS, Y: assignS},
+			plot.Series{Name: "placements", X: tS, Y: placeS},
+			plot.Series{Name: "handoffs", X: tS, Y: handS},
+			plot.Series{Name: "rejections", X: tS, Y: rejS},
+			plot.Series{Name: "departures", X: tS, Y: departS},
+			plot.Series{Name: "mean_util", X: tS, Y: utilS},
+		)
+		if ferr := w.Flush(); err == nil {
+			err = ferr
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "per-epoch series written to %s\n", o.csvPath)
+	}
+
+	return report(out, orch, reportInputs{
+		epochs:       epochs,
+		horizonSec:   horizonSec,
+		peakSessions: peakSessions,
+		handoffs:     totalHandoffs,
+		rejections:   totalRejections,
+		placements:   totalPlacements,
+		departures:   totalDepartures,
+		transfer:     transfer,
+		downtime:     downtime,
+	})
+}
+
+type reportInputs struct {
+	epochs       int
+	horizonSec   float64
+	peakSessions int
+
+	handoffs, rejections, placements, departures int
+	transfer, downtime                           stats.Summary
+}
+
+// report prints the fleet summary: population, hand-off pressure, placement
+// latency quantiles, and how the load spread over the satellite-servers.
+func report(out io.Writer, orch *fleet.Orchestrator, in reportInputs) error {
+	sessions := orch.Table().Len()
+	hours := in.horizonSec / 3600
+
+	util := stats.NewCDF(orch.Utilization()...)
+	loaded := 0
+	for _, u := range orch.Utilization() {
+		if u > 0 {
+			loaded++
+		}
+	}
+	lat := stats.NewCDF(orch.PlacementLatencySamples()...)
+
+	sessionHours := float64(sessions) * hours // steady-state approximation
+	handoffRate := 0.0
+	if sessionHours > 0 {
+		handoffRate = float64(in.handoffs) / sessionHours
+	}
+
+	fmt.Fprintf(out, "\nfleet report — %d epochs, %.1f h simulated\n", in.epochs, hours)
+	rows := [][]string{
+		{"sessions (final / peak)", fmt.Sprintf("%d / %d", sessions, in.peakSessions)},
+		{"initial placements", fmt.Sprintf("%d", in.placements)},
+		{"hand-offs", fmt.Sprintf("%d (%.2f per session-hour)", in.handoffs, handoffRate)},
+		{"rejections", fmt.Sprintf("%d", in.rejections)},
+		{"departures", fmt.Sprintf("%d", in.departures)},
+		{"mean transfer latency", fmt.Sprintf("%.2f ms one-way", in.transfer.Mean())},
+		{"mean migration downtime", fmt.Sprintf("%.1f ms", in.downtime.Mean()*1000)},
+		{"placement latency", fmt.Sprintf("p50 %.1f µs, p90 %.1f µs, p99 %.1f µs",
+			lat.Quantile(0.50)*1e6, lat.Quantile(0.90)*1e6, lat.Quantile(0.99)*1e6)},
+		{"satellites loaded", fmt.Sprintf("%d of %d", loaded, orch.Constellation().Size())},
+		{"core utilisation", fmt.Sprintf("mean %.1f%%, p50 %.1f%%, p90 %.1f%%, max %.1f%%",
+			100*mean(orch.Utilization()), 100*util.Quantile(0.50), 100*util.Quantile(0.90), 100*util.Max())},
+	}
+	return plot.Table(out, nil, rows)
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func main() {
+	log.SetOutput(os.Stderr)
+	o, err := parseFlags(os.Args[1:])
+	if err != nil {
+		if err == flag.ErrHelp {
+			return
+		}
+		fatal(err)
+	}
+	if err := run(os.Stdout, o); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fleetsim:", err)
+	os.Exit(1)
+}

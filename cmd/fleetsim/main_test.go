@@ -1,0 +1,129 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestParseFlags(t *testing.T) {
+	o, err := parseFlags([]string{"-sessions", "42", "-hours", "0.25", "-name", "telesat", "-churn", "0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.sessions != 42 || o.hours != 0.25 || o.name != "telesat" || o.churn != 0 {
+		t.Fatalf("parsed %+v", o)
+	}
+
+	bad := [][]string{
+		{"-sessions", "0"},
+		{"-hours", "-1"},
+		{"-minusers", "0"},
+		{"-minusers", "5", "-maxusers", "2"},
+		{"-churn", "-1"},
+		{"-dwell", "0"},
+		{"-nope"},
+	}
+	for _, args := range bad {
+		if _, err := parseFlags(args); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}
+
+func TestBuildNamed(t *testing.T) {
+	for _, name := range []string{"starlink", "kuiper", "telesat"} {
+		c, err := buildNamed(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if c.Size() == 0 {
+			t.Fatalf("%s: empty", name)
+		}
+	}
+	if _, err := buildNamed("atlantis"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestBuildWorkloadSeeded(t *testing.T) {
+	o, err := parseFlags([]string{"-sessions", "20", "-churn", "0.01", "-seed", "9"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, c1, err := buildWorkload(o, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p1) != 20 {
+		t.Fatalf("persistent = %d, want 20", len(p1))
+	}
+	p2, c2, err := buildWorkload(o, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p2) != len(p1) || len(c2) != len(c1) {
+		t.Fatalf("same seed produced different population sizes")
+	}
+	for i := range p1 {
+		if p1[i].ID != p2[i].ID || p1[i].StateMB != p2[i].StateMB || p1[i].Centroid != p2[i].Centroid {
+			t.Fatalf("session %d differs between same-seed builds", i)
+		}
+	}
+	for i := range c1 {
+		if c1[i].at != c2[i].at || c1[i].sess.ExpiresAt != c2[i].sess.ExpiresAt {
+			t.Fatalf("churn arrival %d differs between same-seed builds", i)
+		}
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	o, err := parseFlags([]string{
+		"-name", "telesat", "-sessions", "50", "-hours", "0.05", "-step", "60", "-churn", "0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := run(&b, o); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"Telesat: 1671 satellites — 50 sessions",
+		"fleet report — 3 epochs",
+		"sessions (final / peak)",
+		"hand-offs",
+		"placement latency",
+		"satellites loaded",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("run output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	path := t.TempDir() + "/fleet.csv"
+	o, err := parseFlags([]string{
+		"-sessions", "10", "-hours", "0.05", "-step", "60", "-churn", "0", "-csv", path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := run(&b, o); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 4 { // header + 3 epochs
+		t.Fatalf("csv has %d lines, want 4:\n%s", len(lines), data)
+	}
+	if lines[0] != "x,sessions,assigned,placements,handoffs,rejections,departures,mean_util" {
+		t.Fatalf("csv header = %q", lines[0])
+	}
+}

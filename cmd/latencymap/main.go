@@ -12,6 +12,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/constellation"
@@ -20,72 +21,77 @@ import (
 	"repro/internal/visibility"
 )
 
-func main() {
-	var (
-		name = flag.String("name", "starlink", "constellation: starlink, kuiper, telesat")
-		step = flag.Float64("step", 5, "grid step in degrees")
-		at   = flag.Float64("t", 0, "snapshot time (seconds after epoch)")
-		out  = flag.String("out", "", "optional CSV output path")
-	)
-	flag.Parse()
+type options struct {
+	name    string
+	stepDeg float64
+	atSec   float64
+	outPath string
+}
 
-	var (
-		c   *constellation.Constellation
-		err error
-	)
-	switch *name {
+func parseFlags(args []string) (options, error) {
+	fs := flag.NewFlagSet("latencymap", flag.ContinueOnError)
+	var o options
+	fs.StringVar(&o.name, "name", "starlink", "constellation: starlink, kuiper, telesat")
+	fs.Float64Var(&o.stepDeg, "step", 5, "grid step in degrees")
+	fs.Float64Var(&o.atSec, "t", 0, "snapshot time (seconds after epoch)")
+	fs.StringVar(&o.outPath, "out", "", "optional CSV output path")
+	if err := fs.Parse(args); err != nil {
+		return o, err
+	}
+	if o.stepDeg <= 0 || o.stepDeg > 30 {
+		return o, fmt.Errorf("step %v out of (0,30]", o.stepDeg)
+	}
+	return o, nil
+}
+
+func buildNamed(name string) (*constellation.Constellation, error) {
+	switch name {
 	case "starlink":
-		c, err = constellation.StarlinkPhase1(constellation.Config{})
+		return constellation.StarlinkPhase1(constellation.Config{})
 	case "kuiper":
-		c, err = constellation.Kuiper(constellation.Config{})
+		return constellation.Kuiper(constellation.Config{})
 	case "telesat":
-		c, err = constellation.Telesat(constellation.Config{})
+		return constellation.Telesat(constellation.Config{})
+	}
+	return nil, fmt.Errorf("unknown constellation %q (want starlink, kuiper, telesat)", name)
+}
+
+// glyph maps a cell's nearest-server RTT to a heat-map character.
+func glyph(rttMs float64, covered bool) byte {
+	switch {
+	case !covered:
+		return '.'
+	case rttMs < 5:
+		return '#'
+	case rttMs < 8:
+		return '+'
+	case rttMs < 12:
+		return '-'
 	default:
-		err = fmt.Errorf("unknown constellation %q", *name)
+		return ' '
 	}
+}
+
+// run sweeps the lat/lon grid and writes the ASCII heat map to out and, when
+// csv is non-nil, the per-cell rows.
+func run(out, csv io.Writer, o options) error {
+	c, err := buildNamed(o.name)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	if *step <= 0 || *step > 30 {
-		fatal(fmt.Errorf("step %v out of (0,30]", *step))
-	}
-
 	obs := visibility.NewObserver(c)
-	snap := c.Snapshot(*at)
+	snap := c.Snapshot(o.atSec)
 
-	var csv *bufio.Writer
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		csv = bufio.NewWriter(f)
-		defer csv.Flush()
+	if csv != nil {
 		fmt.Fprintln(csv, "lat,lon,nearest_rtt_ms,reachable")
 	}
 
-	// ASCII heat map: one character per cell, latitude rows top-down.
-	glyph := func(rttMs float64, covered bool) byte {
-		switch {
-		case !covered:
-			return '.'
-		case rttMs < 5:
-			return '#'
-		case rttMs < 8:
-			return '+'
-		case rttMs < 12:
-			return '-'
-		default:
-			return ' '
-		}
-	}
-	fmt.Printf("%s at t=%.0fs — nearest-server RTT: '#'<5ms '+'<8ms '-'<12ms ' '>=12ms '.'=uncovered\n",
-		c.Name, *at)
+	fmt.Fprintf(out, "%s at t=%.0fs — nearest-server RTT: '#'<5ms '+'<8ms '-'<12ms ' '>=12ms '.'=uncovered\n",
+		c.Name, o.atSec)
 	covered, total := 0, 0
-	for lat := 90.0; lat >= -90; lat -= *step {
-		row := make([]byte, 0, int(360 / *step)+1)
-		for lon := -180.0; lon <= 180; lon += *step {
+	for lat := 90.0; lat >= -90; lat -= o.stepDeg {
+		row := make([]byte, 0, int(360/o.stepDeg)+1)
+		for lon := -180.0; lon <= 180; lon += o.stepDeg {
 			g := geo.LatLon{LatDeg: lat, LonDeg: lon}.ECEF()
 			_, slant, ok := obs.Nearest(g, snap)
 			rtt := 0.0
@@ -100,10 +106,35 @@ func main() {
 				fmt.Fprintf(csv, "%.1f,%.1f,%.3f,%d\n", lat, lon, rtt, n)
 			}
 		}
-		fmt.Printf("%6.1f |%s|\n", lat, row)
+		fmt.Fprintf(out, "%6.1f |%s|\n", lat, row)
 	}
-	fmt.Printf("coverage: %.1f%% of grid cells see at least one satellite-server\n",
+	fmt.Fprintf(out, "coverage: %.1f%% of grid cells see at least one satellite-server\n",
 		100*float64(covered)/float64(total))
+	return nil
+}
+
+func main() {
+	o, err := parseFlags(os.Args[1:])
+	if err != nil {
+		if err == flag.ErrHelp {
+			return
+		}
+		fatal(err)
+	}
+	var csv io.Writer
+	if o.outPath != "" {
+		f, err := os.Create(o.outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w := bufio.NewWriter(f)
+		defer w.Flush()
+		csv = w
+	}
+	if err := run(os.Stdout, csv, o); err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

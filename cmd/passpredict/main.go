@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/constellation"
@@ -19,69 +20,82 @@ import (
 	"repro/internal/visibility"
 )
 
-func main() {
-	var (
-		lat   = flag.Float64("lat", 47.38, "site latitude (degrees north)")
-		lon   = flag.Float64("lon", 8.54, "site longitude (degrees east)")
-		name  = flag.String("name", "starlink", "constellation: starlink, kuiper, telesat")
-		sat   = flag.Int("sat", 0, "satellite ID to predict passes for")
-		hours = flag.Float64("hours", 3, "prediction horizon")
-		next  = flag.Bool("next", false, "just report the next pass of any satellite")
-	)
-	flag.Parse()
-
-	site := geo.LatLon{LatDeg: *lat, LonDeg: *lon}
-	if !site.Valid() {
-		fatal(fmt.Errorf("invalid site %v", site))
-	}
-	var (
-		c   *constellation.Constellation
-		err error
-	)
-	switch *name {
-	case "starlink":
-		c, err = constellation.StarlinkPhase1(constellation.Config{})
-	case "kuiper":
-		c, err = constellation.Kuiper(constellation.Config{})
-	case "telesat":
-		c, err = constellation.Telesat(constellation.Config{})
-	default:
-		err = fmt.Errorf("unknown constellation %q", *name)
-	}
-	if err != nil {
-		fatal(err)
-	}
-	obs := visibility.NewObserver(c)
-	ground := site.ECEF()
-	horizon := *hours * 3600
-
-	if *next {
-		w, ok, err := obs.NextPassAny(ground, 0, horizon, 10)
-		if err != nil {
-			fatal(err)
-		}
-		if !ok {
-			fmt.Printf("no pass over %v within %.1f h\n", site, *hours)
-			return
-		}
-		fmt.Printf("next pass over %v: %s (sat %d)\n", site, c.Satellites[w.SatID].Name(c.Shells), w.SatID)
-		printPasses(c, obs, ground, []visibility.PassWindow{w})
-		return
-	}
-
-	if *sat < 0 || *sat >= c.Size() {
-		fatal(fmt.Errorf("satellite %d out of [0,%d)", *sat, c.Size()))
-	}
-	ws, err := obs.PassWindows(ground, *sat, 0, horizon, 10)
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Printf("%s over %v, next %.1f h: %d passes\n",
-		c.Satellites[*sat].Name(c.Shells), site, *hours, len(ws))
-	printPasses(c, obs, ground, ws)
+type options struct {
+	site  geo.LatLon
+	name  string
+	sat   int
+	hours float64
+	next  bool
 }
 
-func printPasses(c *constellation.Constellation, obs *visibility.Observer, ground geo.Vec3, ws []visibility.PassWindow) {
+func parseFlags(args []string) (options, error) {
+	fs := flag.NewFlagSet("passpredict", flag.ContinueOnError)
+	var o options
+	fs.Float64Var(&o.site.LatDeg, "lat", 47.38, "site latitude (degrees north)")
+	fs.Float64Var(&o.site.LonDeg, "lon", 8.54, "site longitude (degrees east)")
+	fs.StringVar(&o.name, "name", "starlink", "constellation: starlink, kuiper, telesat")
+	fs.IntVar(&o.sat, "sat", 0, "satellite ID to predict passes for")
+	fs.Float64Var(&o.hours, "hours", 3, "prediction horizon")
+	fs.BoolVar(&o.next, "next", false, "just report the next pass of any satellite")
+	if err := fs.Parse(args); err != nil {
+		return o, err
+	}
+	if !o.site.Valid() {
+		return o, fmt.Errorf("invalid site %v", o.site)
+	}
+	if o.hours <= 0 {
+		return o, fmt.Errorf("hours %v must be positive", o.hours)
+	}
+	return o, nil
+}
+
+func buildNamed(name string) (*constellation.Constellation, error) {
+	switch name {
+	case "starlink":
+		return constellation.StarlinkPhase1(constellation.Config{})
+	case "kuiper":
+		return constellation.Kuiper(constellation.Config{})
+	case "telesat":
+		return constellation.Telesat(constellation.Config{})
+	}
+	return nil, fmt.Errorf("unknown constellation %q (want starlink, kuiper, telesat)", name)
+}
+
+func run(out io.Writer, o options) error {
+	c, err := buildNamed(o.name)
+	if err != nil {
+		return err
+	}
+	obs := visibility.NewObserver(c)
+	ground := o.site.ECEF()
+	horizon := o.hours * 3600
+
+	if o.next {
+		w, ok, err := obs.NextPassAny(ground, 0, horizon, 10)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			fmt.Fprintf(out, "no pass over %v within %.1f h\n", o.site, o.hours)
+			return nil
+		}
+		fmt.Fprintf(out, "next pass over %v: %s (sat %d)\n", o.site, c.Satellites[w.SatID].Name(c.Shells), w.SatID)
+		return printPasses(out, c, obs, ground, []visibility.PassWindow{w})
+	}
+
+	if o.sat < 0 || o.sat >= c.Size() {
+		return fmt.Errorf("satellite %d out of [0,%d)", o.sat, c.Size())
+	}
+	ws, err := obs.PassWindows(ground, o.sat, 0, horizon, 10)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%s over %v, next %.1f h: %d passes\n",
+		c.Satellites[o.sat].Name(c.Shells), o.site, o.hours, len(ws))
+	return printPasses(out, c, obs, ground, ws)
+}
+
+func printPasses(out io.Writer, c *constellation.Constellation, obs *visibility.Observer, ground geo.Vec3, ws []visibility.PassWindow) error {
 	const kaHz = 20e9
 	var rows [][]string
 	for _, w := range ws {
@@ -98,14 +112,25 @@ func printPasses(c *constellation.Constellation, obs *visibility.Observer, groun
 			fmt.Sprintf("%+.0f kHz", dop/1000),
 		})
 	}
-	if err := plot.Table(os.Stdout, []string{"AOS", "culmination", "LOS", "duration", "max elev", "AOS Doppler @20GHz"}, rows); err != nil {
-		fatal(err)
-	}
+	return plot.Table(out, []string{"AOS", "culmination", "LOS", "duration", "max elev", "AOS Doppler @20GHz"}, rows)
 }
 
 func hms(t float64) string {
 	s := int(t)
 	return fmt.Sprintf("%02d:%02d:%02d", s/3600, (s/60)%60, s%60)
+}
+
+func main() {
+	o, err := parseFlags(os.Args[1:])
+	if err != nil {
+		if err == flag.ErrHelp {
+			return
+		}
+		fatal(err)
+	}
+	if err := run(os.Stdout, o); err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

@@ -14,6 +14,7 @@ package inorbit
 import (
 	"repro/internal/constellation"
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/geo"
 	"repro/internal/meetup"
 	"repro/internal/migrate"
@@ -78,4 +79,29 @@ type Shell = constellation.Shell
 // BuildConstellation assembles a custom constellation from shells.
 func BuildConstellation(name string, shells []Shell) (*constellation.Constellation, error) {
 	return constellation.Build(name, shells, constellation.Config{})
+}
+
+// Fleet is the fleet-scale session orchestrator: the epoch-batched control
+// plane that places and migrates many concurrent sessions across the whole
+// constellation under per-satellite capacity (see internal/fleet).
+type Fleet = fleet.Orchestrator
+
+// FleetConfig tunes the fleet orchestrator; the zero value uses the
+// paper-derived defaults.
+type FleetConfig = fleet.Config
+
+// FleetSession is one session (a user group with resource demand) managed
+// by a Fleet.
+type FleetSession = fleet.Session
+
+// NewFleet builds a fleet orchestrator over the service's constellation,
+// sharing its ISL grid.
+func NewFleet(svc *Service, cfg FleetConfig) (*Fleet, error) {
+	return fleet.New(svc.Constellation(), svc.Grid(), cfg)
+}
+
+// NewFleetSession builds a session for a user group with default demand;
+// adjust its exported fields before submitting.
+func NewFleetSession(id uint64, users []LatLon) (*FleetSession, error) {
+	return fleet.NewSession(id, users)
 }

@@ -85,3 +85,40 @@ func TestPolicyConstantsDistinct(t *testing.T) {
 		t.Fatal("policy names wrong")
 	}
 }
+
+func TestFleetFacade(t *testing.T) {
+	svc := service(t)
+	f, err := NewFleet(svc, FleetConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := [][]LatLon{
+		{{LatDeg: 9.06, LonDeg: 7.49}, {LatDeg: 8.5, LonDeg: 9.0}},
+		{{LatDeg: 51.5, LonDeg: -0.1}, {LatDeg: 48.9, LonDeg: 2.35}},
+	}
+	for i, users := range groups {
+		s, err := NewFleetSession(uint64(i+1), users)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Submit(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Start(0); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := f.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sessions != 2 || rep.Assigned != 2 {
+		t.Fatalf("report %+v, want both sessions assigned", rep)
+	}
+	for id := uint64(1); id <= 2; id++ {
+		s, ok := f.Table().Get(id)
+		if !ok || s.Sat < 0 || s.RTTMs <= 0 {
+			t.Fatalf("session %d not placed: %+v", id, s)
+		}
+	}
+}

@@ -1,0 +1,671 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/compute"
+	"repro/internal/constellation"
+	"repro/internal/geo"
+	"repro/internal/isl"
+	"repro/internal/migrate"
+	"repro/internal/netgraph"
+	"repro/internal/obs"
+	"repro/internal/stats"
+	"repro/internal/units"
+	"repro/internal/visibility"
+)
+
+// Config tunes the orchestrator. The zero value picks the defaults noted on
+// each field.
+type Config struct {
+	// StepSec is the epoch length in simulated seconds (default 60). All
+	// detection, placement, and migration work is batched per epoch.
+	StepSec float64
+	// LookaheadSec is the visibility lookahead horizon used to rank
+	// candidates by remaining visibility and to answer TimeToExpiry
+	// (default 1200, the meetup Sticky horizon). Must be at least StepSec.
+	LookaheadSec float64
+	// LatencyBand is the fractional latency slack over the per-session
+	// optimum a candidate may have and still be preferred for longevity
+	// (default 0.10, the paper's Sticky band).
+	LatencyBand float64
+	// PoolSize is how many longest-visible band candidates are tried
+	// before admission falls back to the remaining candidates by latency
+	// (default 5, the paper's Sticky pool).
+	PoolSize int
+	// CellDeg is the footprint-index cell size (default DefaultCellDeg).
+	CellDeg float64
+	// Shards is the session-table shard count (default DefaultShards).
+	Shards int
+	// Workers bounds the parallelism of the detection and proposal phases
+	// (default GOMAXPROCS).
+	Workers int
+	// Server is the per-satellite compute payload (default the paper's
+	// reference server).
+	Server compute.ServerSpec
+	// ISLBandwidthGbps is the migration link rate (default isl.BandwidthGbps).
+	ISLBandwidthGbps float64
+	// DirtyRateMBps is how fast session state dirties during live
+	// migration (default 4). Must stay below the link bandwidth.
+	DirtyRateMBps float64
+	// Registry receives the fleet_* metric families (default obs.Default()).
+	Registry *obs.Registry
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.StepSec == 0 {
+		c.StepSec = 60
+	}
+	if c.StepSec <= 0 {
+		return c, fmt.Errorf("fleet: step %v must be positive", c.StepSec)
+	}
+	if c.LookaheadSec == 0 {
+		c.LookaheadSec = 1200
+	}
+	if c.LookaheadSec < c.StepSec {
+		return c, fmt.Errorf("fleet: lookahead %vs shorter than step %vs", c.LookaheadSec, c.StepSec)
+	}
+	if c.LatencyBand <= 0 {
+		c.LatencyBand = 0.10
+	}
+	if c.PoolSize <= 0 {
+		c.PoolSize = 5
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Server == (compute.ServerSpec{}) {
+		c.Server = compute.DefaultServerSpec()
+	}
+	if err := c.Server.Validate(); err != nil {
+		return c, err
+	}
+	if c.ISLBandwidthGbps == 0 {
+		c.ISLBandwidthGbps = isl.BandwidthGbps
+	}
+	if c.ISLBandwidthGbps <= 0 {
+		return c, fmt.Errorf("fleet: ISL bandwidth %v must be positive", c.ISLBandwidthGbps)
+	}
+	if c.DirtyRateMBps == 0 {
+		c.DirtyRateMBps = 4
+	}
+	if c.DirtyRateMBps < 0 || c.DirtyRateMBps >= migrate.GbpsToMBps(c.ISLBandwidthGbps) {
+		return c, fmt.Errorf("fleet: dirty rate %v MB/s must be in [0, link bandwidth)", c.DirtyRateMBps)
+	}
+	if c.Registry == nil {
+		c.Registry = obs.Default()
+	}
+	return c, nil
+}
+
+// EpochReport summarises one planner epoch.
+type EpochReport struct {
+	// TSec is the simulated time the epoch ran at.
+	TSec float64
+	// Sessions and Assigned are the table population and assignment count
+	// after the epoch.
+	Sessions, Assigned int
+	// Expiring is how many live assignments were about to lose full-group
+	// visibility and entered re-placement.
+	Expiring int
+	// Placements counts initial admissions; Handoffs counts migrations;
+	// Rejections counts sessions no visible satellite could fit;
+	// Departures counts sessions removed at their end time.
+	Placements, Handoffs, Rejections, Departures int
+	// Transfer aggregates the one-way state-transfer latency (ms) of this
+	// epoch's hand-offs; Downtime aggregates their live-migration downtime
+	// (seconds).
+	Transfer, Downtime stats.Summary
+	// MeanUtilization is the mean core utilisation across all
+	// satellite-servers after the epoch.
+	MeanUtilization float64
+	// WallSec is the measured wall-clock duration of the epoch
+	// (non-deterministic; everything else in the report is deterministic
+	// for a fixed workload).
+	WallSec float64
+}
+
+// Orchestrator is the fleet-wide session control plane. Build with New,
+// seed sessions with Submit, call Start once, then Step per epoch. Step is
+// not safe to call concurrently with itself or with queries; Submit and
+// table reads are safe from other goroutines between steps.
+type Orchestrator struct {
+	c    *constellation.Constellation
+	obs  *visibility.Observer
+	grid *isl.Grid
+	idx  *Index
+	tab  *Table
+	cfg  Config
+
+	nodes []*compute.Node
+
+	// ring[k] is the constellation snapshot at now + k·step, k in [0, K].
+	ring [][]geo.Vec3
+	k    int
+	now  float64
+
+	started   bool
+	nAssigned int
+	m         *metricsSet
+
+	// islMemo caches per-epoch ISL one-way latencies keyed a<<32|b; the
+	// underlying Dijkstra dominates hand-off costing without it because
+	// city-anchored sessions migrate between the same few satellite pairs.
+	islMemo map[uint64]float64
+
+	latSamples []float64
+}
+
+// maxLatencySamples bounds the retained placement-latency samples (the obs
+// histogram keeps counting past the cap).
+const maxLatencySamples = 1 << 21
+
+// New builds an orchestrator over the constellation. grid may be nil to
+// build a +grid ISL topology; pass a shared one to avoid rebuilding.
+func New(c *constellation.Constellation, grid *isl.Grid, cfg Config) (*Orchestrator, error) {
+	if c == nil || c.Size() == 0 {
+		return nil, fmt.Errorf("fleet: empty constellation")
+	}
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	idx, err := NewIndex(c, cfg.CellDeg)
+	if err != nil {
+		return nil, err
+	}
+	if grid == nil {
+		grid = isl.NewPlusGrid(c)
+	}
+	o := &Orchestrator{
+		c:       c,
+		obs:     idx.Observer(),
+		grid:    grid,
+		idx:     idx,
+		tab:     NewTable(cfg.Shards),
+		cfg:     cfg,
+		nodes:   make([]*compute.Node, c.Size()),
+		m:       newMetrics(cfg.Registry),
+		islMemo: make(map[uint64]float64),
+	}
+	for id := range o.nodes {
+		n, err := compute.NewNode(id, cfg.Server)
+		if err != nil {
+			return nil, err
+		}
+		o.nodes[id] = n
+	}
+	return o, nil
+}
+
+// Table exposes the session table.
+func (o *Orchestrator) Table() *Table { return o.tab }
+
+// Index exposes the footprint index (valid after Start).
+func (o *Orchestrator) Index() *Index { return o.idx }
+
+// Constellation returns the underlying constellation.
+func (o *Orchestrator) Constellation() *constellation.Constellation { return o.c }
+
+// Now returns the current simulated time.
+func (o *Orchestrator) Now() float64 { return o.now }
+
+// Utilization returns the per-satellite core utilisation, indexed by
+// satellite ID.
+func (o *Orchestrator) Utilization() []float64 {
+	out := make([]float64, len(o.nodes))
+	for i, n := range o.nodes {
+		out[i] = n.UtilizationCores()
+	}
+	return out
+}
+
+// PlacementLatencySamples returns the recorded per-session proposal
+// latencies in seconds (capped at maxLatencySamples; wall-clock, so values
+// are non-deterministic while their order is).
+func (o *Orchestrator) PlacementLatencySamples() []float64 { return o.latSamples }
+
+// Submit adds a session to the fleet; it is placed on the next Step.
+func (o *Orchestrator) Submit(s *Session) error {
+	if s == nil || len(s.Users) == 0 {
+		return fmt.Errorf("fleet: submit of empty session")
+	}
+	if s.CoresDemand < 0 || s.MemoryGB < 0 || s.StateMB < 0 {
+		return fmt.Errorf("fleet: session %d has negative demand", s.ID)
+	}
+	if s.ID > math.MaxInt64 {
+		return fmt.Errorf("fleet: session ID %d overflows the compute task ID space", s.ID)
+	}
+	s.Sat = -1
+	return o.tab.Put(s)
+}
+
+// SubmitBatch submits many sessions, stopping at the first error.
+func (o *Orchestrator) SubmitBatch(ss []*Session) error {
+	for _, s := range ss {
+		if err := o.Submit(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Remove drops a session immediately, releasing its capacity.
+func (o *Orchestrator) Remove(id uint64) bool {
+	s, ok := o.tab.Get(id)
+	if !ok {
+		return false
+	}
+	if s.Sat >= 0 {
+		_ = o.nodes[s.Sat].Release(int(s.ID))
+		s.Sat = -1
+		o.nAssigned--
+	}
+	return o.tab.Delete(id)
+}
+
+// Start fixes the epoch clock at t0 and builds the snapshot ring and
+// footprint index. Call once before Step.
+func (o *Orchestrator) Start(t0 float64) error {
+	if o.started {
+		return fmt.Errorf("fleet: already started")
+	}
+	o.k = int(math.Round(o.cfg.LookaheadSec / o.cfg.StepSec))
+	if o.k < 1 {
+		o.k = 1
+	}
+	o.ring = make([][]geo.Vec3, o.k+1)
+	for i := range o.ring {
+		o.ring[i] = make([]geo.Vec3, o.c.Size())
+		o.c.SnapshotInto(t0+float64(i)*o.cfg.StepSec, o.ring[i])
+	}
+	o.idx.Rebuild(o.ring[0])
+	o.now = t0
+	o.started = true
+	return nil
+}
+
+// visibleAll reports whether sat is visible to every user of the session
+// in the given snapshot.
+func (o *Orchestrator) visibleAll(s *Session, satID int, snap []geo.Vec3) bool {
+	pos := snap[satID]
+	for _, u := range s.Users {
+		if !o.obs.Visible(u, satID, pos) {
+			return false
+		}
+	}
+	return true
+}
+
+// groupRTT returns the session's max user RTT to sat in the snapshot; ok
+// is false when some user cannot see it.
+func (o *Orchestrator) groupRTT(s *Session, satID int, snap []geo.Vec3) (float64, bool) {
+	pos := snap[satID]
+	worst := 0.0
+	for _, u := range s.Users {
+		if !o.obs.Visible(u, satID, pos) {
+			return 0, false
+		}
+		if rtt := units.RTTMs(pos.Distance(u)); rtt > worst {
+			worst = rtt
+		}
+	}
+	return worst, true
+}
+
+// TimeToExpiry returns how long the session's current assignment stays
+// visible to the whole group, at epoch granularity — the fleet-scale
+// batched form of meetup.Planner.TimeToExpiry (capped=true when the
+// assignment survives the whole lookahead ring).
+func (o *Orchestrator) TimeToExpiry(s *Session) (warnSec float64, capped bool, err error) {
+	if !o.started {
+		return 0, false, fmt.Errorf("fleet: not started")
+	}
+	if s.Sat < 0 {
+		return 0, false, fmt.Errorf("fleet: session %d is unassigned", s.ID)
+	}
+	for k := 1; k <= o.k; k++ {
+		if !o.visibleAll(s, s.Sat, o.ring[k]) {
+			return float64(k) * o.cfg.StepSec, false, nil
+		}
+	}
+	return float64(o.k) * o.cfg.StepSec, true, nil
+}
+
+// candidate is one placement option for a session.
+type candidate struct {
+	id   int
+	rtt  float64
+	life int // remaining epochs of full-group visibility, capped at o.k
+}
+
+// proposal is the ranked admission order for one work item.
+type proposal struct {
+	ranked []candidate
+	latSec float64
+}
+
+// workItem is one session needing placement this epoch.
+type workItem struct {
+	sess     *Session
+	expiring bool
+}
+
+// parallelFor splits [0,n) into contiguous chunks across the configured
+// workers. Chunked ranges keep writes to per-index slots deterministic.
+func (o *Orchestrator) parallelFor(n int, f func(lo, hi int)) {
+	workers := o.cfg.Workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if n > 0 {
+			f(0, n)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			f(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Step runs one planner epoch at the current simulated time: removes
+// departed sessions, detects assignments about to lose visibility,
+// re-places them (and places arrivals) under load-aware admission, costs
+// the resulting migrations, then advances the clock by one step.
+func (o *Orchestrator) Step() (EpochReport, error) {
+	if !o.started {
+		return EpochReport{}, fmt.Errorf("fleet: Start must be called before Step")
+	}
+	wall := time.Now()
+	rep := EpochReport{TSec: o.now}
+	for k := range o.islMemo {
+		delete(o.islMemo, k)
+	}
+
+	// Phase A — detection, parallel across table shards: find departures
+	// and sessions needing (re-)placement.
+	nShards := o.tab.NumShards()
+	workByShard := make([][]workItem, nShards)
+	goneByShard := make([][]*Session, nShards)
+	o.parallelFor(nShards, func(lo, hi int) {
+		for si := lo; si < hi; si++ {
+			o.tab.Shard(si, func(m map[uint64]*Session) {
+				for _, s := range m {
+					switch {
+					case s.ExpiresAt <= o.now:
+						goneByShard[si] = append(goneByShard[si], s)
+					case s.Sat < 0:
+						workByShard[si] = append(workByShard[si], workItem{sess: s})
+					case !o.visibleAll(s, s.Sat, o.ring[1]):
+						workByShard[si] = append(workByShard[si], workItem{sess: s, expiring: true})
+					}
+				}
+			})
+		}
+	})
+	var work []workItem
+	var gone []*Session
+	for si := 0; si < nShards; si++ {
+		work = append(work, workByShard[si]...)
+		gone = append(gone, goneByShard[si]...)
+	}
+	sort.Slice(work, func(i, j int) bool { return work[i].sess.ID < work[j].sess.ID })
+	sort.Slice(gone, func(i, j int) bool { return gone[i].ID < gone[j].ID })
+
+	for _, s := range gone {
+		if s.Sat >= 0 {
+			_ = o.nodes[s.Sat].Release(int(s.ID))
+			s.Sat = -1
+			o.nAssigned--
+		}
+		o.tab.Delete(s.ID)
+		rep.Departures++
+	}
+	o.m.departures.Add(uint64(rep.Departures))
+
+	// Phase B — proposals, parallel across work items: each session gets a
+	// deterministic ranked candidate list (read-only over ring and index).
+	proposals := make([]proposal, len(work))
+	o.parallelFor(len(work), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			proposals[i] = o.propose(work[i].sess)
+		}
+	})
+
+	// Phase C — admission, serial in session-ID order: first candidate
+	// with spare capacity wins; sessions spill down their ranking when a
+	// satellite is full, and are rejected (retrying next epoch) when none
+	// fits.
+	task := func(s *Session) compute.Task {
+		return compute.Task{ID: int(s.ID), Cores: s.CoresDemand, MemoryGB: s.MemoryGB}
+	}
+	for i, w := range work {
+		s := w.sess
+		if w.expiring {
+			rep.Expiring++
+		}
+		chosen := candidate{id: -1}
+		for _, cand := range proposals[i].ranked {
+			if cand.id == s.Sat || o.nodes[cand.id].Fits(task(s)) {
+				chosen = cand
+				break
+			}
+		}
+		if chosen.id < 0 {
+			if s.Sat >= 0 {
+				_ = o.nodes[s.Sat].Release(int(s.ID))
+				s.Sat = -1
+				o.nAssigned--
+			}
+			rep.Rejections++
+			continue
+		}
+		if chosen.id == s.Sat {
+			// Nothing better had room; hold the current satellite until it
+			// actually sets.
+			s.RTTMs = chosen.rtt
+			continue
+		}
+		if err := o.nodes[chosen.id].Place(task(s)); err != nil {
+			return rep, fmt.Errorf("fleet: admission of session %d: %w", s.ID, err)
+		}
+		if s.Sat >= 0 {
+			from := s.Sat
+			_ = o.nodes[from].Release(int(s.ID))
+			transfer := o.transferMs(from, chosen.id, s.Centroid)
+			res, merr := migrate.Live(
+				migrate.State{SessionMB: s.StateMB, DirtyRateMBps: o.cfg.DirtyRateMBps},
+				migrate.Link{BandwidthMBps: migrate.GbpsToMBps(o.cfg.ISLBandwidthGbps), OneWayMs: transfer},
+				migrate.LiveConfig{GenericReplicatedAhead: true},
+			)
+			if merr != nil {
+				return rep, fmt.Errorf("fleet: migration cost of session %d: %w", s.ID, merr)
+			}
+			rep.Handoffs++
+			s.Handoffs++
+			rep.Transfer.Add(transfer)
+			rep.Downtime.Add(res.DowntimeSec)
+			o.m.transferMs.Observe(transfer)
+			o.m.handoffs.Inc()
+			o.m.placeHandoff.Inc()
+		} else {
+			rep.Placements++
+			o.nAssigned++
+			o.m.placeInitial.Inc()
+		}
+		s.Sat = chosen.id
+		s.PlacedAt = o.now
+		s.RTTMs = chosen.rtt
+	}
+	o.m.rejections.Add(uint64(rep.Rejections))
+	for i := range proposals {
+		o.m.placeLat.Observe(proposals[i].latSec)
+		if len(o.latSamples) < maxLatencySamples {
+			o.latSamples = append(o.latSamples, proposals[i].latSec)
+		}
+	}
+
+	// Phase D — advance the epoch clock: rotate the ring, propagate the
+	// new horizon snapshot into the recycled buffer, re-bucket the index.
+	o.now += o.cfg.StepSec
+	oldest := o.ring[0]
+	copy(o.ring, o.ring[1:])
+	o.ring[o.k] = oldest
+	o.c.SnapshotInto(o.now+float64(o.k)*o.cfg.StepSec, o.ring[o.k])
+	o.idx.Rebuild(o.ring[0])
+
+	rep.Sessions = o.tab.Len()
+	rep.Assigned = o.nAssigned
+	util := 0.0
+	for _, n := range o.nodes {
+		util += n.UtilizationCores()
+	}
+	rep.MeanUtilization = util / float64(len(o.nodes))
+	rep.WallSec = time.Since(wall).Seconds()
+
+	o.m.sessions.Set(float64(rep.Sessions))
+	o.m.assigned.Set(float64(rep.Assigned))
+	o.m.epochs.Inc()
+	o.m.epochSec.Observe(rep.WallSec)
+	return rep, nil
+}
+
+// propose computes a session's ranked candidate list: all satellites
+// visible to the whole group, Sticky-ordered — candidates within the
+// latency band ranked by remaining visibility (the paper's stationarity
+// objective), then the rest by latency for load spill.
+func (o *Orchestrator) propose(s *Session) proposal {
+	t0 := time.Now()
+	snap := o.ring[0]
+	var cands []candidate
+	qStart := time.Now()
+	o.idx.ForEachNear(s.CentroidLL.LatDeg, s.CentroidLL.LonDeg, s.SpreadKm, func(id int, pos geo.Vec3) {
+		if rtt, ok := o.groupRTT(s, id, snap); ok {
+			cands = append(cands, candidate{id: id, rtt: rtt})
+		}
+	})
+	o.m.indexQuery.Observe(time.Since(qStart).Seconds())
+	if len(cands) == 0 {
+		return proposal{latSec: time.Since(t0).Seconds()}
+	}
+	minRTT := math.Inf(1)
+	for _, c := range cands {
+		if c.rtt < minRTT {
+			minRTT = c.rtt
+		}
+	}
+	bound := minRTT * (1 + o.cfg.LatencyBand)
+	band := 0
+	for i := range cands {
+		if cands[i].rtt <= bound {
+			cands[band], cands[i] = cands[i], cands[band]
+			band++
+		}
+	}
+	for i := 0; i < band; i++ {
+		cands[i].life = o.lifeEpochs(s, cands[i].id)
+	}
+	sort.Slice(cands[:band], func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if a.life != b.life {
+			return a.life > b.life
+		}
+		if a.rtt != b.rtt {
+			return a.rtt < b.rtt
+		}
+		return a.id < b.id
+	})
+	rest := cands[band:]
+	sort.Slice(rest, func(i, j int) bool {
+		if rest[i].rtt != rest[j].rtt {
+			return rest[i].rtt < rest[j].rtt
+		}
+		return rest[i].id < rest[j].id
+	})
+	// Admission order: the Sticky pool first, then everything else by
+	// latency. Keeping the full list (not just the pool) is what lets
+	// admission spill under load instead of rejecting.
+	if band > o.cfg.PoolSize {
+		pool := append([]candidate(nil), cands[:o.cfg.PoolSize]...)
+		overflow := cands[o.cfg.PoolSize:band]
+		sort.Slice(overflow, func(i, j int) bool {
+			if overflow[i].rtt != overflow[j].rtt {
+				return overflow[i].rtt < overflow[j].rtt
+			}
+			return overflow[i].id < overflow[j].id
+		})
+		merged := append(pool, mergeByLatency(overflow, rest)...)
+		return proposal{ranked: merged, latSec: time.Since(t0).Seconds()}
+	}
+	return proposal{ranked: cands, latSec: time.Since(t0).Seconds()}
+}
+
+// mergeByLatency merges two latency-sorted candidate slices.
+func mergeByLatency(a, b []candidate) []candidate {
+	out := make([]candidate, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i].rtt < b[j].rtt || (a[i].rtt == b[j].rtt && a[i].id <= b[j].id) {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// lifeEpochs returns how many future ring epochs the satellite stays
+// visible to the whole session, capped at the ring length.
+func (o *Orchestrator) lifeEpochs(s *Session, satID int) int {
+	for k := 1; k <= o.k; k++ {
+		if !o.visibleAll(s, satID, o.ring[k]) {
+			return k - 1
+		}
+	}
+	return o.k
+}
+
+// transferMs is the one-way state-transfer latency from sat a to b at the
+// current epoch: the cheaper of the shortest ISL path (same-shell pairs,
+// memoised per epoch) and a ground relay through the session's region —
+// the same accounting as meetup.Planner.TransferLatencyMs.
+func (o *Orchestrator) transferMs(a, b int, centroid geo.Vec3) float64 {
+	snap := o.ring[0]
+	relay := units.PropagationDelayMs(snap[a].Distance(centroid) + centroid.Distance(snap[b]))
+	if o.c.Satellites[a].ShellIndex != o.c.Satellites[b].ShellIndex {
+		return relay // the +grid does not link shells
+	}
+	key := uint64(a)<<32 | uint64(b)
+	islMs, ok := o.islMemo[key]
+	if !ok {
+		p, err := netgraph.ISLShortest(o.grid, snap, a, b)
+		if err != nil {
+			islMs = math.Inf(1) // degenerate topology: relay wins
+		} else {
+			islMs = p.OneWayMs
+		}
+		o.islMemo[key] = islMs
+	}
+	return math.Min(islMs, relay)
+}

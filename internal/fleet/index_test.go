@@ -1,0 +1,170 @@
+package fleet
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/constellation"
+	"repro/internal/geo"
+	"repro/internal/visibility"
+)
+
+func starlink(t testing.TB) *constellation.Constellation {
+	t.Helper()
+	c, err := constellation.StarlinkPhase1(constellation.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewIndexValidation(t *testing.T) {
+	c := starlink(t)
+	if _, err := NewIndex(nil, 0); err == nil {
+		t.Fatal("nil constellation should fail")
+	}
+	if _, err := NewIndex(c, 0.01); err == nil {
+		t.Fatal("tiny cell should fail")
+	}
+	if _, err := NewIndex(c, 45); err == nil {
+		t.Fatal("huge cell should fail")
+	}
+	ix, err := NewIndex(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.CellDeg() != DefaultCellDeg {
+		t.Fatalf("cell size %v, want default %v", ix.CellDeg(), DefaultCellDeg)
+	}
+}
+
+func TestRebuildSizeMismatchPanics(t *testing.T) {
+	c := starlink(t)
+	ix, err := NewIndex(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short snapshot should panic")
+		}
+	}()
+	ix.Rebuild(make([]geo.Vec3, 3))
+}
+
+// sortPasses orders passes by satellite ID so index output (cell-grouped)
+// can be compared against the linear scan (ID-ordered).
+func sortPasses(ps []visibility.Pass) {
+	sort.Slice(ps, func(i, j int) bool { return ps[i].SatID < ps[j].SatID })
+}
+
+// TestReachableFromMatchesLinear is the index's correctness anchor: at
+// several epochs and ground points (equator, mid-latitudes, the dateline,
+// beyond-coverage latitudes, both hemispheres), the indexed query must
+// return exactly the passes of the exhaustive O(N) Observer.Reachable scan.
+func TestReachableFromMatchesLinear(t *testing.T) {
+	c := starlink(t)
+	obs := visibility.NewObserver(c)
+	ix, err := NewIndex(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grounds := []geo.LatLon{
+		{LatDeg: 0, LonDeg: 0},
+		{LatDeg: 51.5, LonDeg: -0.1},   // London
+		{LatDeg: -33.9, LonDeg: 151.2}, // Sydney
+		{LatDeg: 64.1, LonDeg: -21.9},  // Reykjavik, above the 53° shells
+		{LatDeg: 0.1, LonDeg: 179.95},  // dateline wrap
+		{LatDeg: -5, LonDeg: -179.9},   // dateline wrap, west side
+		{LatDeg: 80, LonDeg: 10},       // polar-shell-only coverage
+		{LatDeg: -90, LonDeg: 0},       // south pole
+	}
+	for _, tSec := range []float64{0, 731, 3600} {
+		snap := c.Snapshot(tSec)
+		ix.Rebuild(snap)
+		for _, g := range grounds {
+			ground := g.ECEF()
+			want := obs.Reachable(ground, snap, nil)
+			got := ix.ReachableFrom(ground, nil)
+			sortPasses(want)
+			sortPasses(got)
+			if len(got) != len(want) {
+				t.Fatalf("t=%v %v: index %d passes, linear %d", tSec, g, len(got), len(want))
+			}
+			for i := range want {
+				w, h := want[i], got[i]
+				if w.SatID != h.SatID {
+					t.Fatalf("t=%v %v: pass %d sat %d vs %d", tSec, g, i, h.SatID, w.SatID)
+				}
+				if math.Abs(w.SlantKm-h.SlantKm) > 1e-9 || math.Abs(w.RTTMs-h.RTTMs) > 1e-12 ||
+					math.Abs(w.ElevationDeg-h.ElevationDeg) > 1e-9 {
+					t.Fatalf("t=%v %v: pass for sat %d differs: %+v vs %+v", tSec, g, w.SatID, h, w)
+				}
+			}
+			if n := ix.CountReachableFrom(ground); n != len(want) {
+				t.Fatalf("t=%v %v: CountReachableFrom %d, want %d", tSec, g, n, len(want))
+			}
+		}
+	}
+}
+
+// TestForEachNearMargin checks the group-query guarantee: a satellite
+// visible from a point within extraKm of the anchor must appear among the
+// candidates of the widened query.
+func TestForEachNearMargin(t *testing.T) {
+	c := starlink(t)
+	obs := visibility.NewObserver(c)
+	ix, err := NewIndex(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := c.Snapshot(500)
+	ix.Rebuild(snap)
+
+	anchor := geo.LatLon{LatDeg: 40, LonDeg: -100}
+	const spreadKm = 600
+	offsets := []geo.LatLon{
+		geo.Destination(anchor, 0, spreadKm),
+		geo.Destination(anchor, 90, spreadKm),
+		geo.Destination(anchor, 225, spreadKm),
+	}
+	cands := map[int]bool{}
+	ix.ForEachNear(anchor.LatDeg, anchor.LonDeg, spreadKm, func(id int, _ geo.Vec3) {
+		cands[id] = true
+	})
+	for _, o := range offsets {
+		for _, p := range obs.Reachable(o.ECEF(), snap, nil) {
+			if !cands[p.SatID] {
+				t.Fatalf("sat %d visible from %v (within %v km of anchor) missing from candidates", p.SatID, o, spreadKm)
+			}
+		}
+	}
+}
+
+func TestReachableFromDstReuse(t *testing.T) {
+	c := starlink(t)
+	ix, err := NewIndex(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := c.Snapshot(0)
+	ix.Rebuild(snap)
+	ground := geo.LatLon{LatDeg: 10, LonDeg: 20}.ECEF()
+
+	first := ix.ReachableFrom(ground, nil)
+	if len(first) == 0 {
+		t.Fatal("no passes at a mid-latitude point")
+	}
+	// Appending into a recycled buffer must not disturb earlier entries.
+	buf := append(first[:0:0], first...)
+	again := ix.ReachableFrom(ground, buf[:0])
+	if len(again) != len(first) {
+		t.Fatalf("reuse changed result size: %d vs %d", len(again), len(first))
+	}
+	for i := range first {
+		if again[i] != first[i] {
+			t.Fatalf("pass %d differs after reuse", i)
+		}
+	}
+}

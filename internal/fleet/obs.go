@@ -1,0 +1,60 @@
+package fleet
+
+import "repro/internal/obs"
+
+// Metric families the orchestrator maintains. Families are registered on
+// the configured registry (obs.Default() unless overridden); hot paths
+// hold the concrete metric so an update is one atomic op. Two
+// orchestrators on the same registry share families — counters aggregate.
+type metricsSet struct {
+	sessions     *obs.Gauge     // fleet_sessions
+	assigned     *obs.Gauge     // fleet_sessions_assigned
+	placeInitial *obs.Counter   // fleet_placements_total{kind="initial"}
+	placeHandoff *obs.Counter   // fleet_placements_total{kind="handoff"}
+	handoffs     *obs.Counter   // fleet_handoffs_total
+	rejections   *obs.Counter   // fleet_rejections_total
+	departures   *obs.Counter   // fleet_departures_total
+	epochs       *obs.Counter   // fleet_epochs_total
+	placeLat     *obs.Histogram // fleet_placement_latency_seconds
+	indexQuery   *obs.Histogram // fleet_index_query_seconds
+	epochSec     *obs.Histogram // fleet_epoch_seconds
+	transferMs   *obs.Histogram // fleet_handoff_transfer_ms
+}
+
+var (
+	// Wall-clock buckets for per-session planner work (µs-scale).
+	placementBuckets = []float64{1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 1e-3, 1e-2, 0.1}
+	// Footprint-index query buckets (sub-µs to ms).
+	queryBuckets = []float64{2.5e-7, 5e-7, 1e-6, 2.5e-6, 5e-6, 1e-5, 5e-5, 1e-4, 1e-3}
+	// One-way state-transfer latency buckets in milliseconds.
+	transferBuckets = []float64{1, 2.5, 5, 10, 25, 50, 100, 250}
+)
+
+func newMetrics(reg *obs.Registry) *metricsSet {
+	placements := reg.CounterVec("fleet_placements_total",
+		"Session placements by kind: initial admissions vs hand-off re-placements.", "kind")
+	return &metricsSet{
+		sessions: reg.Gauge("fleet_sessions",
+			"Sessions currently tracked by the fleet orchestrator."),
+		assigned: reg.Gauge("fleet_sessions_assigned",
+			"Sessions currently holding a satellite-server assignment."),
+		placeInitial: placements.With("initial"),
+		placeHandoff: placements.With("handoff"),
+		handoffs: reg.Counter("fleet_handoffs_total",
+			"Completed session migrations between satellite-servers."),
+		rejections: reg.Counter("fleet_rejections_total",
+			"Placement attempts that found no satellite with both visibility and capacity."),
+		departures: reg.Counter("fleet_departures_total",
+			"Sessions removed at their departure time."),
+		epochs: reg.Counter("fleet_epochs_total",
+			"Planner epochs executed."),
+		placeLat: reg.Histogram("fleet_placement_latency_seconds",
+			"Wall-clock time to compute one session's ranked placement proposal.", placementBuckets),
+		indexQuery: reg.Histogram("fleet_index_query_seconds",
+			"Wall-clock time of one footprint-index candidate query.", queryBuckets),
+		epochSec: reg.Histogram("fleet_epoch_seconds",
+			"Wall-clock time of one full planner epoch.", obs.DefBuckets),
+		transferMs: reg.Histogram("fleet_handoff_transfer_ms",
+			"One-way state-transfer latency of hand-offs (ISL path or ground relay).", transferBuckets),
+	}
+}

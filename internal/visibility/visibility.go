@@ -118,6 +118,14 @@ func (o *Observer) Visible(ground geo.Vec3, id int, sat geo.Vec3) bool {
 // Reachable appends to dst a Pass for every satellite in snapshot reachable
 // from ground, and returns the extended slice. snapshot must be indexed by
 // satellite ID (as produced by Constellation.Snapshot).
+//
+// The dst contract follows append: passing nil allocates a fresh slice;
+// passing a recycled buffer (dst[:0]) reuses its backing array so per-query
+// allocation is zero once the buffer has grown to the working-set size. The
+// returned slice aliases dst's array whenever capacity sufficed — callers
+// that hand out the result while also recycling the buffer must copy.
+// Existing elements of dst are never modified, only appended after; passes
+// are appended in ascending satellite-ID order.
 func (o *Observer) Reachable(ground geo.Vec3, snapshot []geo.Vec3, dst []Pass) []Pass {
 	for id, sat := range snapshot {
 		rel := sat.Sub(ground)

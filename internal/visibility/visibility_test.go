@@ -298,3 +298,65 @@ func TestStarlinkReachableCountsSanity(t *testing.T) {
 		t.Fatalf("Starlink reachable at 30°N = %d, want tens", n)
 	}
 }
+
+// TestReachableDstContract pins the documented append/reuse semantics of
+// the dst parameter: nil allocates, a recycled prefix reuses the backing
+// array without touching existing elements, and the result aliases dst when
+// capacity suffices.
+func TestReachableDstContract(t *testing.T) {
+	c := testConstellation(t)
+	o := NewObserver(c)
+	snap := c.Snapshot(120)
+	g := geo.LatLon{LatDeg: 30, LonDeg: -100}.ECEF()
+
+	fresh := o.Reachable(g, snap, nil)
+	if len(fresh) == 0 {
+		t.Fatal("no passes from mid-latitude point")
+	}
+
+	// Reuse: recycling the same buffer must produce identical passes with
+	// zero growth once warm, and the result must alias the buffer.
+	buf := make([]Pass, 0, len(fresh))
+	got := o.Reachable(g, snap, buf)
+	if len(got) != len(fresh) {
+		t.Fatalf("recycled query found %d passes, fresh found %d", len(got), len(fresh))
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Fatal("result does not alias the recycled buffer despite sufficient capacity")
+	}
+	for i := range fresh {
+		if got[i] != fresh[i] {
+			t.Fatalf("pass %d differs between fresh and recycled query", i)
+		}
+	}
+
+	// Append: existing elements must survive untouched, new passes follow.
+	sentinel := Pass{SatID: -7, SlantKm: 1, ElevationDeg: 2, RTTMs: 3}
+	withPrefix := o.Reachable(g, snap, []Pass{sentinel})
+	if len(withPrefix) != len(fresh)+1 {
+		t.Fatalf("append query has %d passes, want %d", len(withPrefix), len(fresh)+1)
+	}
+	if withPrefix[0] != sentinel {
+		t.Fatalf("existing dst element modified: %+v", withPrefix[0])
+	}
+	for i := range fresh {
+		if withPrefix[i+1] != fresh[i] {
+			t.Fatalf("appended pass %d differs", i)
+		}
+	}
+
+	// Order: ascending satellite ID, per the doc comment.
+	for i := 1; i < len(fresh); i++ {
+		if fresh[i].SatID <= fresh[i-1].SatID {
+			t.Fatalf("passes not in ascending ID order at %d: %d after %d", i, fresh[i].SatID, fresh[i-1].SatID)
+		}
+	}
+
+	// No allocation once the buffer is warm.
+	allocs := testing.AllocsPerRun(20, func() {
+		buf = o.Reachable(g, snap, buf[:0])
+	})
+	if allocs != 0 {
+		t.Fatalf("recycled Reachable allocates %.1f times per run, want 0", allocs)
+	}
+}
