@@ -8,10 +8,17 @@
 //
 //	fleetsim -name starlink -sessions 100000 -hours 2
 //	fleetsim -sessions 5000 -hours 0.5 -csv fleet.csv -debug 127.0.0.1:8090
+//	fleetsim -sessions 5000 -hours 2 -fault-seed 7 -sat-mtbf 100 -isl-flap 0.5
+//
+// With -sat-mtbf, -isl-flap, or -mig-fail set, a seeded chaos layer
+// (internal/faults) injects satellite hard failures, ISL degradation
+// windows, and migration transfer failures, and the report gains a chaos
+// section accounting for every evacuation, retry, and rejection.
 //
 // Everything that shapes the simulation is seeded, so a given flag set
-// reproduces the same placements, hand-offs, and CSV bit-for-bit; only the
-// wall-clock latency figures vary between runs.
+// (including -fault-seed) reproduces the same placements, hand-offs,
+// faults, and CSV bit-for-bit; only the wall-clock latency figures vary
+// between runs.
 package main
 
 import (
@@ -26,6 +33,7 @@ import (
 	"os"
 
 	"repro/internal/constellation"
+	"repro/internal/faults"
 	"repro/internal/fleet"
 	"repro/internal/obs"
 	"repro/internal/plot"
@@ -47,6 +55,17 @@ type options struct {
 	csvPath  string
 	debug    string
 	progress bool
+
+	faultSeed  int64
+	satMTBFHr  float64 // mean time between satellite hard failures (0 = off)
+	satMTTRSec float64 // mean recovery time (negative = permanent)
+	islFlapHr  float64 // per-pair ISL degradation windows per hour
+	migFail    float64 // per-attempt migration transfer failure probability
+}
+
+// chaosEnabled reports whether any fault channel is active.
+func (o options) chaosEnabled() bool {
+	return o.satMTBFHr > 0 || o.islFlapHr > 0 || o.migFail > 0
 }
 
 func parseFlags(args []string) (options, error) {
@@ -65,6 +84,11 @@ func parseFlags(args []string) (options, error) {
 	fs.StringVar(&o.csvPath, "csv", "", "per-epoch CSV output path (empty = off)")
 	fs.StringVar(&o.debug, "debug", "", "debug listen address for /metrics, /healthz, /debug/pprof (empty = off)")
 	fs.BoolVar(&o.progress, "v", false, "log per-epoch progress to stderr")
+	fs.Int64Var(&o.faultSeed, "fault-seed", 1, "fault-injection seed (independent of the workload seed)")
+	fs.Float64Var(&o.satMTBFHr, "sat-mtbf", 0, "mean hours between per-satellite hard failures (0 = no failures; 100 ≈ 1%/h)")
+	fs.Float64Var(&o.satMTTRSec, "sat-mttr", 0, "mean seconds to recover a failed satellite (0 = default 1800, negative = never)")
+	fs.Float64Var(&o.islFlapHr, "isl-flap", 0, "per-satellite-pair ISL degradation windows per hour (0 = off)")
+	fs.Float64Var(&o.migFail, "mig-fail", 0, "probability a migration transfer attempt fails in flight, in [0,1)")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -79,6 +103,12 @@ func parseFlags(args []string) (options, error) {
 	}
 	if o.churn < 0 || o.dwellSec <= 0 {
 		return o, fmt.Errorf("churn %v and dwell %v must be non-negative/positive", o.churn, o.dwellSec)
+	}
+	if o.satMTBFHr < 0 || o.islFlapHr < 0 {
+		return o, fmt.Errorf("sat-mtbf %v and isl-flap %v must be non-negative", o.satMTBFHr, o.islFlapHr)
+	}
+	if o.migFail < 0 || o.migFail >= 1 {
+		return o, fmt.Errorf("mig-fail %v outside [0,1)", o.migFail)
 	}
 	return o, nil
 }
@@ -140,7 +170,20 @@ func run(out io.Writer, o options) error {
 		return err
 	}
 	reg := obs.NewRegistry()
-	orch, err := fleet.New(c, nil, fleet.Config{StepSec: o.stepSec, Registry: reg})
+	var inj *faults.Injector
+	if o.chaosEnabled() {
+		inj, err = faults.New(c.Size(), faults.Config{
+			Seed:              o.faultSeed,
+			SatMTBFHours:      o.satMTBFHr,
+			SatMTTRSec:        o.satMTTRSec,
+			ISLFlapPerHour:    o.islFlapHr,
+			MigrationFailProb: o.migFail,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	orch, err := fleet.New(c, nil, fleet.Config{StepSec: o.stepSec, Registry: reg, Faults: inj})
 	if err != nil {
 		return err
 	}
@@ -178,12 +221,16 @@ func run(out io.Writer, o options) error {
 	epochs := int(horizonSec / o.stepSec)
 	var (
 		tS, sessS, assignS, handS, rejS, placeS, departS, utilS []float64
+		downS, evacS, faultS                                    []float64
 
 		totalHandoffs, totalRejections, totalPlacements, totalDepartures int
 		transfer, downtime                                               stats.Summary
 		peakSessions                                                     int
 		nextArrival                                                      int
+
+		chaos chaosTotals
 	)
+	chaos.minAssignedFrac = 1
 	for e := 0; e < epochs; e++ {
 		for nextArrival < len(churn) && churn[nextArrival].at <= orch.Now() {
 			if err := orch.Submit(churn[nextArrival].sess); err != nil {
@@ -214,6 +261,12 @@ func run(out io.Writer, o options) error {
 		placeS = append(placeS, float64(rep.Placements))
 		departS = append(departS, float64(rep.Departures))
 		utilS = append(utilS, rep.MeanUtilization)
+		if inj != nil {
+			chaos.fold(rep)
+			downS = append(downS, float64(rep.DownSats))
+			evacS = append(evacS, float64(rep.Evacuations))
+			faultS = append(faultS, float64(rep.SatFailures+rep.SatRecoveries))
+		}
 		if o.progress {
 			log.Printf("t=%6.0fs sessions=%d assigned=%d handoffs=%d rejected=%d wall=%.2fs",
 				rep.TSec, rep.Sessions, rep.Assigned, rep.Handoffs, rep.Rejections, rep.WallSec)
@@ -225,16 +278,24 @@ func run(out io.Writer, o options) error {
 		if err != nil {
 			return err
 		}
+		series := []plot.Series{
+			{Name: "sessions", X: tS, Y: sessS},
+			{Name: "assigned", X: tS, Y: assignS},
+			{Name: "placements", X: tS, Y: placeS},
+			{Name: "handoffs", X: tS, Y: handS},
+			{Name: "rejections", X: tS, Y: rejS},
+			{Name: "departures", X: tS, Y: departS},
+			{Name: "mean_util", X: tS, Y: utilS},
+		}
+		if inj != nil {
+			series = append(series,
+				plot.Series{Name: "down_sats", X: tS, Y: downS},
+				plot.Series{Name: "evacuations", X: tS, Y: evacS},
+				plot.Series{Name: "fault_events", X: tS, Y: faultS},
+			)
+		}
 		w := bufio.NewWriter(f)
-		err = plot.WriteCSV(w,
-			plot.Series{Name: "sessions", X: tS, Y: sessS},
-			plot.Series{Name: "assigned", X: tS, Y: assignS},
-			plot.Series{Name: "placements", X: tS, Y: placeS},
-			plot.Series{Name: "handoffs", X: tS, Y: handS},
-			plot.Series{Name: "rejections", X: tS, Y: rejS},
-			plot.Series{Name: "departures", X: tS, Y: departS},
-			plot.Series{Name: "mean_util", X: tS, Y: utilS},
-		)
+		err = plot.WriteCSV(w, series...)
 		if ferr := w.Flush(); err == nil {
 			err = ferr
 		}
@@ -257,6 +318,8 @@ func run(out io.Writer, o options) error {
 		departures:   totalDepartures,
 		transfer:     transfer,
 		downtime:     downtime,
+		inj:          inj,
+		chaos:        chaos,
 	})
 }
 
@@ -267,6 +330,37 @@ type reportInputs struct {
 
 	handoffs, rejections, placements, departures int
 	transfer, downtime                           stats.Summary
+
+	inj   *faults.Injector // nil when chaos is off
+	chaos chaosTotals
+}
+
+// chaosTotals accumulates the fault-injection story over the run. All of
+// it is deterministic for a fixed flag set, so the chaos report section is
+// safe to diff across same-seed runs.
+type chaosTotals struct {
+	satFailures, satRecoveries          int
+	evacuations, evacuationsDeferred    int
+	migrationFailures, backoffDeferrals int
+	islDegradations                     int
+	minAssignedFrac, finalAssignedFrac  float64
+}
+
+func (ct *chaosTotals) fold(rep fleet.EpochReport) {
+	ct.satFailures += rep.SatFailures
+	ct.satRecoveries += rep.SatRecoveries
+	ct.evacuations += rep.Evacuations
+	ct.evacuationsDeferred += rep.EvacuationsDeferred
+	ct.migrationFailures += rep.MigrationFailures
+	ct.backoffDeferrals += rep.BackoffDeferrals
+	ct.islDegradations += rep.ISLDegradations
+	if rep.Sessions > 0 {
+		frac := float64(rep.Assigned) / float64(rep.Sessions)
+		if frac < ct.minAssignedFrac {
+			ct.minAssignedFrac = frac
+		}
+		ct.finalAssignedFrac = frac
+	}
 }
 
 // report prints the fleet summary: population, hand-off pressure, placement
@@ -305,7 +399,26 @@ func report(out io.Writer, orch *fleet.Orchestrator, in reportInputs) error {
 		{"core utilisation", fmt.Sprintf("mean %.1f%%, p50 %.1f%%, p90 %.1f%%, max %.1f%%",
 			100*mean(orch.Utilization()), 100*util.Quantile(0.50), 100*util.Quantile(0.90), 100*util.Max())},
 	}
-	return plot.Table(out, nil, rows)
+	if err := plot.Table(out, nil, rows); err != nil {
+		return err
+	}
+	if in.inj == nil {
+		return nil
+	}
+
+	ct := in.chaos
+	fmt.Fprintf(out, "\nchaos report — injected faults and how the fleet absorbed them\n")
+	crows := [][]string{
+		{"satellite failures / recoveries", fmt.Sprintf("%d / %d (%d down at end)",
+			ct.satFailures, ct.satRecoveries, in.inj.DownCount())},
+		{"evacuations (completed / deferred)", fmt.Sprintf("%d / %d", ct.evacuations, ct.evacuationsDeferred)},
+		{"migration transfer failures", fmt.Sprintf("%d (backoff deferrals: %d)",
+			ct.migrationFailures, ct.backoffDeferrals)},
+		{"ISL-degraded transfers", fmt.Sprintf("%d (spilled to ground relay)", ct.islDegradations)},
+		{"assigned fraction (min / final)", fmt.Sprintf("%.1f%% / %.1f%%",
+			100*ct.minAssignedFrac, 100*ct.finalAssignedFrac)},
+	}
+	return plot.Table(out, nil, crows)
 }
 
 func mean(xs []float64) float64 {

@@ -127,3 +127,79 @@ func TestRunCSV(t *testing.T) {
 		t.Fatalf("csv header = %q", lines[0])
 	}
 }
+
+func TestParseFaultFlags(t *testing.T) {
+	o, err := parseFlags([]string{"-fault-seed", "9", "-sat-mtbf", "100", "-sat-mttr", "-1", "-isl-flap", "2", "-mig-fail", "0.1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.faultSeed != 9 || o.satMTBFHr != 100 || o.satMTTRSec != -1 || o.islFlapHr != 2 || o.migFail != 0.1 {
+		t.Fatalf("parsed %+v", o)
+	}
+	if !o.chaosEnabled() {
+		t.Fatal("chaos not enabled with nonzero fault rates")
+	}
+	if o2, err := parseFlags(nil); err != nil || o2.chaosEnabled() {
+		t.Fatalf("chaos enabled by default (err=%v)", err)
+	}
+	bad := [][]string{
+		{"-sat-mtbf", "-1"},
+		{"-isl-flap", "-0.5"},
+		{"-mig-fail", "-0.1"},
+		{"-mig-fail", "1"},
+	}
+	for _, args := range bad {
+		if _, err := parseFlags(args); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}
+
+// TestRunChaosDeterministic is the reproducibility contract: two runs with
+// the same -fault-seed produce byte-identical CSVs (with the extra chaos
+// columns) and a chaos report section in the text output.
+func TestRunChaosDeterministic(t *testing.T) {
+	runOnce := func(path string) string {
+		o, err := parseFlags([]string{
+			"-name", "telesat", "-sessions", "30", "-hours", "0.1", "-step", "60", "-churn", "0",
+			"-fault-seed", "5", "-sat-mtbf", "0.5", "-sat-mttr", "-1", "-isl-flap", "5", "-mig-fail", "0.3",
+			"-csv", path,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		if err := run(&b, o); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	dir := t.TempDir()
+	out1 := runOnce(dir + "/a.csv")
+	runOnce(dir + "/b.csv")
+
+	a, err := os.ReadFile(dir + "/a.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(dir + "/b.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("same-seed runs produced different CSVs:\n--- a ---\n%s\n--- b ---\n%s", a, b)
+	}
+	header := strings.SplitN(string(a), "\n", 2)[0]
+	if header != "x,sessions,assigned,placements,handoffs,rejections,departures,mean_util,down_sats,evacuations,fault_events" {
+		t.Fatalf("chaos csv header = %q", header)
+	}
+	for _, want := range []string{
+		"chaos report — injected faults and how the fleet absorbed them",
+		"satellite failures",
+		"assigned fraction",
+	} {
+		if !strings.Contains(out1, want) {
+			t.Fatalf("chaos run output missing %q:\n%s", want, out1)
+		}
+	}
+}

@@ -19,6 +19,15 @@
 //
 // A second instance started with the same flags receives the state
 // automatically: migration connections are recognised by a handshake line.
+// Handshake version 2 ("IOSM-MIGRATION/2") is resumable: the receiver
+// replies "RESUME <generic> <session>" with the byte offsets it already
+// holds from an interrupted attempt, and the sender continues from there.
+// Version 1 (blind push) is still accepted for old senders.
+//
+// Every migration socket operation carries an -iotimeout deadline, so a
+// wedged peer cannot hold a handler — or shutdown — hostage: when the
+// -draintimeout expires, remaining connections get their deadlines forced
+// and drain completes.
 //
 // With -debug addr the server exposes /metrics (Prometheus text, or
 // ?format=json), /healthz, /debug/vars, and /debug/pprof on that address.
@@ -46,7 +55,14 @@ import (
 	"repro/internal/obs"
 )
 
-const migrationHandshake = "IOSM-MIGRATION/1"
+const (
+	migrationHandshake   = "IOSM-MIGRATION/1"
+	migrationHandshakeV2 = "IOSM-MIGRATION/2"
+
+	// migrateAttempts bounds how often an outbound migration retries a
+	// failed transfer before rolling back to serving.
+	migrateAttempts = 3
+)
 
 func main() {
 	var (
@@ -55,11 +71,13 @@ func main() {
 		name   = flag.String("name", "sat-A", "server name (shown in replies)")
 		debug  = flag.String("debug", "", "debug listen address for /metrics, /healthz, /debug/pprof (empty = off)")
 		drain  = flag.Duration("draintimeout", 5*time.Second, "how long shutdown waits for in-flight connections")
+		ioTO   = flag.Duration("iotimeout", 10*time.Second, "per-operation socket deadline on migration transfers (0 = none)")
 	)
 	flag.Parse()
 
 	srv := newServer(*name, obs.Default())
 	srv.drainTimeout = *drain
+	srv.ioTimeout = *ioTO
 	migrate.SetTracer(srv.tracer)
 
 	ln, err := net.Listen("tcp", *listen)
@@ -159,13 +177,22 @@ type server struct {
 	m            *metrics
 	tracer       *obs.Tracer
 	drainTimeout time.Duration
+	ioTimeout    time.Duration // per-operation migration socket deadline
 
 	closing atomic.Bool    // shutdown started: accept-loop errors are expected
 	connWG  sync.WaitGroup // in-flight connection handlers
 
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{} // open connections, for forced-drain deadlines
+
+	importMu sync.Mutex // serialises inbound migrations
+
 	mu      sync.Mutex
 	state   session
 	serving bool // false after migrating away
+	// rx holds a partially received inbound migration across connections,
+	// so an interrupted transfer resumes instead of restarting.
+	rx *migrate.Receiver
 }
 
 func newServer(name string, reg *obs.Registry) *server {
@@ -175,6 +202,8 @@ func newServer(name string, reg *obs.Registry) *server {
 		m:            newMetrics(reg),
 		tracer:       obs.NewTracer(nil),
 		drainTimeout: 5 * time.Second,
+		ioTimeout:    10 * time.Second,
+		conns:        map[net.Conn]struct{}{},
 		state:        session{Values: map[string]string{}},
 		serving:      true,
 	}
@@ -204,7 +233,12 @@ func (s *server) run(ln, aln net.Listener, sig <-chan os.Signal) {
 	case <-done:
 		log.Printf("meetupd %s: all connections drained", s.name)
 	case <-time.After(s.drainTimeout):
-		log.Printf("meetupd %s: drain timeout (%v) expired with connections still open", s.name, s.drainTimeout)
+		// A wedged peer (e.g. a stalled migration) must not hold shutdown
+		// hostage: force every remaining connection's deadline so blocked
+		// reads and writes fail now, then wait for the handlers to exit.
+		n := s.forceDeadlines()
+		log.Printf("meetupd %s: drain timeout (%v) expired, forcing %d connection(s) closed", s.name, s.drainTimeout, n)
+		<-done
 	}
 
 	var final strings.Builder
@@ -224,15 +258,43 @@ func (s *server) acceptLoop(ln net.Listener, kind string, handle func(net.Conn))
 		}
 		s.m.conns.With(kind).Inc()
 		s.connWG.Add(1)
+		s.track(conn)
 		go func() {
 			defer s.connWG.Done()
+			defer s.untrack(conn)
 			handle(conn)
 		}()
 	}
 }
 
+// track registers an open connection for forced-drain deadlines.
+func (s *server) track(conn net.Conn) {
+	s.connMu.Lock()
+	s.conns[conn] = struct{}{}
+	s.connMu.Unlock()
+}
+
+func (s *server) untrack(conn net.Conn) {
+	s.connMu.Lock()
+	delete(s.conns, conn)
+	s.connMu.Unlock()
+}
+
+// forceDeadlines sets an already-expired deadline on every tracked
+// connection so any blocked read or write fails immediately; it returns
+// how many connections were forced.
+func (s *server) forceDeadlines() int {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	for conn := range s.conns {
+		conn.SetDeadline(time.Now())
+	}
+	return len(s.conns)
+}
+
 // handleClientOrMigration peeks the first line: a migration handshake makes
-// this connection a state import; anything else is a client command stream.
+// this connection a state import (v2 is resumable); anything else is a
+// client command stream.
 func (s *server) handleClientOrMigration(conn net.Conn) {
 	defer conn.Close()
 	br := bufio.NewReader(conn)
@@ -240,38 +302,79 @@ func (s *server) handleClientOrMigration(conn net.Conn) {
 	if err != nil {
 		return
 	}
-	if strings.TrimSpace(first) == migrationHandshake {
+	switch strings.TrimSpace(first) {
+	case migrationHandshake:
 		s.m.conns.With("migration").Inc()
-		s.importState(conn, br)
-		return
+		s.importState(conn, br, false)
+	case migrationHandshakeV2:
+		s.m.conns.With("migration").Inc()
+		s.importState(conn, br, true)
+	default:
+		s.serveClient(conn, br, first)
 	}
-	s.serveClient(conn, br, first)
 }
 
-func (s *server) importState(conn net.Conn, br *bufio.Reader) {
+// importState receives a migration push. For a v2 (resumable) sender it
+// first replies the generic/session byte offsets already held, so an
+// interrupted transfer continues instead of restarting; partial state
+// survives in s.rx across connections. Every socket operation carries the
+// io timeout, so a wedged sender cannot pin the handler.
+func (s *server) importState(conn net.Conn, br *bufio.Reader, resumable bool) {
 	start := time.Now()
-	generic, sess, err := migrate.ReceiveState(br)
-	if err != nil {
+	// One import at a time: concurrent senders would interleave frames
+	// into the shared resume buffer.
+	s.importMu.Lock()
+	defer s.importMu.Unlock()
+
+	s.mu.Lock()
+	rx := s.rx
+	if rx == nil || !resumable {
+		// v1 senders always restart from scratch: they cannot skip the
+		// prefix we already hold, so appending would corrupt the state.
+		rx = &migrate.Receiver{}
+		s.rx = rx
+	}
+	s.mu.Unlock()
+
+	if resumable {
+		g, sess := rx.Offsets()
+		w := migrate.TimeoutWriter(conn, conn, s.ioTimeout)
+		if _, err := fmt.Fprintf(w, "RESUME %d %d\n", g, sess); err != nil {
+			log.Printf("meetupd %s: resume offer failed: %v", s.name, err)
+			return
+		}
+	}
+	if err := rx.Receive(migrate.TimeoutReader(br, conn, s.ioTimeout)); err != nil {
 		s.m.migrations.With("in", "error").Inc()
-		log.Printf("meetupd %s: state import failed: %v", s.name, err)
+		log.Printf("meetupd %s: state import failed (will resume at %v): %v", s.name, offsetString(rx), err)
 		return
 	}
 	var st session
-	if err := json.Unmarshal(sess, &st); err != nil {
+	if err := json.Unmarshal(rx.Session, &st); err != nil {
 		s.m.migrations.With("in", "error").Inc()
 		log.Printf("meetupd %s: state decode failed: %v", s.name, err)
+		s.mu.Lock()
+		s.rx = nil // assembled state is broken; a retry must start over
+		s.mu.Unlock()
 		return
 	}
+	generic := rx.Generic
 	s.mu.Lock()
 	s.state = st
 	s.serving = true
+	s.rx = nil
 	s.mu.Unlock()
 	s.m.migrations.With("in", "ok").Inc()
-	s.m.migBytes.With("in").Add(uint64(len(generic) + len(sess)))
+	s.m.migBytes.With("in").Add(uint64(len(generic) + len(rx.Session)))
 	s.m.migSeconds.Observe(time.Since(start).Seconds())
 	s.setStateGauges(st, true)
 	log.Printf("meetupd %s: imported state (seq=%d, %d keys, %d B generic)", s.name, st.Seq, len(st.Values), len(generic))
-	fmt.Fprintf(conn, "IMPORTED %d\n", st.Seq)
+	fmt.Fprintf(migrate.TimeoutWriter(conn, conn, s.ioTimeout), "IMPORTED %d\n", st.Seq)
+}
+
+func offsetString(rx *migrate.Receiver) string {
+	g, sess := rx.Offsets()
+	return fmt.Sprintf("generic=%d session=%d", g, sess)
 }
 
 // setStateGauges publishes the session shape; call with a copy, outside mu.
@@ -392,6 +495,10 @@ func (s *server) handleAdmin(conn net.Conn) {
 // migrateTo pushes the session to the successor and stops serving — the
 // stop-and-copy cut-over of a live migration (the pre-copy rounds are
 // implicit here: session state is small, per §5's session/generic split).
+// Transfers use the resumable v2 handshake and retry up to migrateAttempts
+// times, continuing from the bytes the successor already holds; only after
+// the final attempt fails does the server roll back to serving, so a flaky
+// link degrades to a delayed hand-off rather than a lost session.
 func (s *server) migrateTo(addr string) error {
 	start := time.Now()
 	outcome := "error"
@@ -411,30 +518,61 @@ func (s *server) migrateTo(addr string) error {
 	s.mu.Unlock()
 	s.m.serving.Set(0)
 
-	conn, err := net.Dial("tcp", addr)
+	var lastErr error
+	for attempt := 1; attempt <= migrateAttempts; attempt++ {
+		ack, err := s.pushState(addr, payload)
+		if err == nil {
+			outcome = "ok"
+			s.m.migBytes.With("out").Add(uint64(len(payload)))
+			s.m.migSeconds.Observe(time.Since(start).Seconds())
+			log.Printf("meetupd %s: migrated to %s (%s)", s.name, addr, ack)
+			return nil
+		}
+		lastErr = err
+		s.m.migrations.With("out", "retry").Inc()
+		log.Printf("meetupd %s: migration attempt %d/%d to %s failed: %v", s.name, attempt, migrateAttempts, addr, err)
+	}
+
+	s.mu.Lock()
+	s.serving = true // roll back: the successor never took over
+	s.mu.Unlock()
+	s.m.serving.Set(1)
+	return fmt.Errorf("after %d attempts: %w", migrateAttempts, lastErr)
+}
+
+// pushState runs one transfer attempt: dial, v2 handshake, resume from the
+// successor's offsets, send, and await the IMPORTED ack. Every operation
+// carries the io timeout so a wedged successor fails the attempt instead
+// of hanging the admin handler.
+func (s *server) pushState(addr string, payload []byte) (ack string, err error) {
+	dialTO := s.ioTimeout
+	conn, err := net.DialTimeout("tcp", addr, dialTO)
 	if err != nil {
-		s.mu.Lock()
-		s.serving = true // roll back: successor unreachable
-		s.mu.Unlock()
-		s.m.serving.Set(1)
-		return fmt.Errorf("dial successor: %w", err)
+		return "", fmt.Errorf("dial successor: %w", err)
 	}
 	defer conn.Close()
-	if _, err := fmt.Fprintln(conn, migrationHandshake); err != nil {
-		return err
+
+	w := migrate.TimeoutWriter(conn, conn, s.ioTimeout)
+	br := bufio.NewReader(migrate.TimeoutReader(conn, conn, s.ioTimeout))
+	if _, err := fmt.Fprintln(w, migrationHandshakeV2); err != nil {
+		return "", err
 	}
-	if err := migrate.SendState(conn, nil, payload); err != nil {
-		return err
-	}
-	ack, err := bufio.NewReader(conn).ReadString('\n')
+	line, err := br.ReadString('\n')
 	if err != nil {
-		return fmt.Errorf("successor ack: %w", err)
+		return "", fmt.Errorf("resume offer: %w", err)
 	}
-	outcome = "ok"
-	s.m.migBytes.With("out").Add(uint64(len(payload)))
-	s.m.migSeconds.Observe(time.Since(start).Seconds())
-	log.Printf("meetupd %s: migrated to %s (%s)", s.name, addr, strings.TrimSpace(ack))
-	return nil
+	var genericOff, sessionOff int
+	if _, err := fmt.Sscanf(line, "RESUME %d %d", &genericOff, &sessionOff); err != nil {
+		return "", fmt.Errorf("bad resume offer %q: %w", strings.TrimSpace(line), err)
+	}
+	if err := migrate.SendStateResumable(w, nil, payload, genericOff, sessionOff, 0); err != nil {
+		return "", err
+	}
+	line, err = br.ReadString('\n')
+	if err != nil {
+		return "", fmt.Errorf("successor ack: %w", err)
+	}
+	return strings.TrimSpace(line), nil
 }
 
 // Ensure log goes to stderr so stdout stays machine-readable if piped.

@@ -26,6 +26,7 @@ func main() {
 		b      = flag.String("b", "127.0.0.1:7080", "server B client address")
 		keys   = flag.Int("keys", 100, "how many keys to write before migrating")
 	)
+	flag.DurationVar(&ioTimeout, "timeout", 30*time.Second, "per-operation socket deadline (0 = none)")
 	flag.Parse()
 
 	// Phase 1: populate server A.
@@ -69,6 +70,10 @@ func main() {
 	fmt.Printf("migration verified: %d keys intact, %s carried to successor\n", *keys, seqB)
 }
 
+// ioTimeout is the per-operation socket deadline; a stalled or wedged
+// server fails the run instead of hanging it forever.
+var ioTimeout = 30 * time.Second
+
 // client couples a connection with buffered IO so replies can be matched
 // to commands.
 type client struct {
@@ -78,8 +83,15 @@ type client struct {
 
 func (c *client) Close() error { return c.conn.Close() }
 
+// arm sets the connection deadline for the next operation.
+func (c *client) arm() {
+	if ioTimeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(ioTimeout))
+	}
+}
+
 func dial(addr string) *client {
-	conn, err := net.Dial("tcp", addr)
+	conn, err := net.DialTimeout("tcp", addr, ioTimeout)
 	if err != nil {
 		log.Fatalf("dial %s: %v", addr, err)
 	}
@@ -87,12 +99,14 @@ func dial(addr string) *client {
 }
 
 func query(rw *client, cmd string) string {
+	rw.arm()
 	if _, err := rw.WriteString(cmd + "\n"); err != nil {
 		log.Fatalf("write %q: %v", cmd, err)
 	}
 	if err := rw.Flush(); err != nil {
 		log.Fatalf("flush: %v", err)
 	}
+	rw.arm()
 	line, err := rw.ReadString('\n')
 	if err != nil {
 		log.Fatalf("read reply to %q: %v", cmd, err)

@@ -14,6 +14,7 @@ package inorbit
 import (
 	"repro/internal/constellation"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/fleet"
 	"repro/internal/geo"
 	"repro/internal/meetup"
@@ -104,4 +105,18 @@ func NewFleet(svc *Service, cfg FleetConfig) (*Fleet, error) {
 // adjust its exported fields before submitting.
 func NewFleetSession(id uint64, users []LatLon) (*FleetSession, error) {
 	return fleet.NewSession(id, users)
+}
+
+// FaultInjector is the deterministic chaos layer: seeded satellite hard
+// failures, ISL degradation windows, and migration transfer failures (see
+// internal/faults). Pass one via FleetConfig.Faults to exercise graceful
+// degradation.
+type FaultInjector = faults.Injector
+
+// FaultConfig parameterises a FaultInjector.
+type FaultConfig = faults.Config
+
+// NewFaultInjector builds an injector for the service's constellation.
+func NewFaultInjector(svc *Service, cfg FaultConfig) (*FaultInjector, error) {
+	return faults.New(svc.Constellation().Size(), cfg)
 }

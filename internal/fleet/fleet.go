@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/compute"
 	"repro/internal/constellation"
+	"repro/internal/faults"
 	"repro/internal/geo"
 	"repro/internal/isl"
 	"repro/internal/migrate"
@@ -55,6 +56,16 @@ type Config struct {
 	DirtyRateMBps float64
 	// Registry receives the fleet_* metric families (default obs.Default()).
 	Registry *obs.Registry
+	// Faults injects satellite failures, ISL degradation, and migration
+	// transfer failures (nil = fault-free). The orchestrator advances the
+	// injector's clock on every Step; do not share one injector between
+	// orchestrators.
+	Faults *faults.Injector
+	// RetryBaseSec and RetryCapSec bound the capped exponential backoff a
+	// session waits after a failed migration transfer: attempt n retries
+	// after min(RetryBaseSec·2ⁿ⁻¹, RetryCapSec). Defaults: StepSec and
+	// 16·RetryBaseSec.
+	RetryBaseSec, RetryCapSec float64
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -100,6 +111,18 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Registry == nil {
 		c.Registry = obs.Default()
 	}
+	if c.RetryBaseSec == 0 {
+		c.RetryBaseSec = c.StepSec
+	}
+	if c.RetryBaseSec < 0 {
+		return c, fmt.Errorf("fleet: retry base %v s must be positive", c.RetryBaseSec)
+	}
+	if c.RetryCapSec == 0 {
+		c.RetryCapSec = 16 * c.RetryBaseSec
+	}
+	if c.RetryCapSec < c.RetryBaseSec {
+		return c, fmt.Errorf("fleet: retry cap %v s below base %v s", c.RetryCapSec, c.RetryBaseSec)
+	}
 	return c, nil
 }
 
@@ -128,6 +151,21 @@ type EpochReport struct {
 	// (non-deterministic; everything else in the report is deterministic
 	// for a fixed workload).
 	WallSec float64
+
+	// SatFailures and SatRecoveries count the injected hard-fault events
+	// consumed this epoch; DownSats is the failed-satellite count after it.
+	SatFailures, SatRecoveries, DownSats int
+	// Evacuations counts sessions successfully moved off a failed
+	// satellite; EvacuationsDeferred counts evacuation attempts left
+	// pending (transfer failure or no capacity — they retry later).
+	Evacuations, EvacuationsDeferred int
+	// MigrationFailures counts injected transfer failures this epoch;
+	// BackoffDeferrals counts sessions skipped while waiting out their
+	// retry backoff.
+	MigrationFailures, BackoffDeferrals int
+	// ISLDegradations counts hand-off transfers this epoch that found
+	// their ISL path degraded and spilled to a ground relay.
+	ISLDegradations int
 }
 
 // Orchestrator is the fleet-wide session control plane. Build with New,
@@ -149,9 +187,11 @@ type Orchestrator struct {
 	k    int
 	now  float64
 
-	started   bool
-	nAssigned int
-	m         *metricsSet
+	started      bool
+	nAssigned    int
+	nEvacPending int // sessions off a failed satellite, not yet re-placed
+	epochISL     int // ISL-degraded transfers seen this epoch (serial phase)
+	m            *metricsSet
 
 	// islMemo caches per-epoch ISL one-way latencies keyed a<<32|b; the
 	// underlying Dijkstra dominates hand-off costing without it because
@@ -266,6 +306,10 @@ func (o *Orchestrator) Remove(id uint64) bool {
 		s.Sat = -1
 		o.nAssigned--
 	}
+	if s.Evacuating {
+		s.Evacuating = false
+		o.nEvacPending--
+	}
 	return o.tab.Delete(id)
 }
 
@@ -285,6 +329,11 @@ func (o *Orchestrator) Start(t0 float64) error {
 		o.c.SnapshotInto(t0+float64(i)*o.cfg.StepSec, o.ring[i])
 	}
 	o.idx.Rebuild(o.ring[0])
+	if o.cfg.Faults != nil {
+		// Bring the injector to t0; faults before the run started are not
+		// this orchestrator's to handle.
+		o.cfg.Faults.Advance(t0)
+	}
 	o.now = t0
 	o.started = true
 	return nil
@@ -352,8 +401,36 @@ type proposal struct {
 
 // workItem is one session needing placement this epoch.
 type workItem struct {
-	sess     *Session
-	expiring bool
+	sess       *Session
+	expiring   bool
+	evacuating bool // current satellite hard-failed: move now, not at expiry
+}
+
+// satUp reports whether satellite id is serving (always true without an
+// injector).
+func (o *Orchestrator) satUp(id int) bool {
+	return o.cfg.Faults == nil || o.cfg.Faults.SatUp(id)
+}
+
+// backoffSec is the capped exponential retry backoff after the n-th
+// consecutive failed migration attempt (n >= 1).
+func (o *Orchestrator) backoffSec(n int) float64 {
+	d := o.cfg.RetryBaseSec * math.Pow(2, float64(n-1))
+	if d > o.cfg.RetryCapSec {
+		d = o.cfg.RetryCapSec
+	}
+	return d
+}
+
+// deferEvacuation records that a session off a failed satellite could not
+// be re-placed this epoch and stays pending.
+func (o *Orchestrator) deferEvacuation(s *Session, rep *EpochReport) {
+	rep.EvacuationsDeferred++
+	o.m.evacDeferred.Inc()
+	if !s.Evacuating {
+		s.Evacuating = true
+		o.nEvacPending++
+	}
 }
 
 // parallelFor splits [0,n) into contiguous chunks across the configured
@@ -395,15 +472,36 @@ func (o *Orchestrator) Step() (EpochReport, error) {
 	}
 	wall := time.Now()
 	rep := EpochReport{TSec: o.now}
+	o.epochISL = 0
 	for k := range o.islMemo {
 		delete(o.islMemo, k)
 	}
 
+	// Phase A0 — fault events: consume everything the injector fired up to
+	// this epoch. Failed satellites are detected below; recovered ones are
+	// simply eligible again.
+	if f := o.cfg.Faults; f != nil {
+		for _, ev := range f.Advance(o.now) {
+			switch ev.Kind {
+			case faults.SatFail:
+				rep.SatFailures++
+				o.m.faultSatFail.Inc()
+			case faults.SatRecover:
+				rep.SatRecoveries++
+				o.m.faultSatRec.Inc()
+			}
+		}
+		rep.DownSats = f.DownCount()
+	}
+
 	// Phase A — detection, parallel across table shards: find departures
-	// and sessions needing (re-)placement.
+	// and sessions needing (re-)placement. Sessions on a hard-failed
+	// satellite evacuate immediately, ahead of their visibility expiry;
+	// sessions inside a retry backoff window are deferred.
 	nShards := o.tab.NumShards()
 	workByShard := make([][]workItem, nShards)
 	goneByShard := make([][]*Session, nShards)
+	deferByShard := make([]int, nShards)
 	o.parallelFor(nShards, func(lo, hi int) {
 		for si := lo; si < hi; si++ {
 			o.tab.Shard(si, func(m map[uint64]*Session) {
@@ -411,6 +509,12 @@ func (o *Orchestrator) Step() (EpochReport, error) {
 					switch {
 					case s.ExpiresAt <= o.now:
 						goneByShard[si] = append(goneByShard[si], s)
+					case s.Sat >= 0 && !o.satUp(s.Sat):
+						// A dead satellite overrides any retry backoff: the
+						// session must evacuate now, not when its timer says.
+						workByShard[si] = append(workByShard[si], workItem{sess: s, evacuating: true})
+					case s.RetryAt > o.now:
+						deferByShard[si]++
 					case s.Sat < 0:
 						workByShard[si] = append(workByShard[si], workItem{sess: s})
 					case !o.visibleAll(s, s.Sat, o.ring[1]):
@@ -420,6 +524,10 @@ func (o *Orchestrator) Step() (EpochReport, error) {
 			})
 		}
 	})
+	for _, n := range deferByShard {
+		rep.BackoffDeferrals += n
+	}
+	o.m.retryDeferred.Add(uint64(rep.BackoffDeferrals))
 	var work []workItem
 	var gone []*Session
 	for si := 0; si < nShards; si++ {
@@ -434,6 +542,10 @@ func (o *Orchestrator) Step() (EpochReport, error) {
 			_ = o.nodes[s.Sat].Release(int(s.ID))
 			s.Sat = -1
 			o.nAssigned--
+		}
+		if s.Evacuating {
+			s.Evacuating = false
+			o.nEvacPending--
 		}
 		o.tab.Delete(s.ID)
 		rep.Departures++
@@ -458,8 +570,12 @@ func (o *Orchestrator) Step() (EpochReport, error) {
 	}
 	for i, w := range work {
 		s := w.sess
+		evac := w.evacuating || s.Evacuating
 		if w.expiring {
 			rep.Expiring++
+		}
+		if s.Retries > 0 {
+			o.m.migRetries.Inc()
 		}
 		chosen := candidate{id: -1}
 		for _, cand := range proposals[i].ranked {
@@ -475,19 +591,42 @@ func (o *Orchestrator) Step() (EpochReport, error) {
 				o.nAssigned--
 			}
 			rep.Rejections++
+			if evac {
+				o.deferEvacuation(s, &rep)
+			}
 			continue
 		}
 		if chosen.id == s.Sat {
 			// Nothing better had room; hold the current satellite until it
-			// actually sets.
+			// actually sets. (A failed satellite is never ranked, so an
+			// evacuating session cannot take this path.)
 			s.RTTMs = chosen.rtt
 			continue
 		}
-		if err := o.nodes[chosen.id].Place(task(s)); err != nil {
-			return rep, fmt.Errorf("fleet: admission of session %d: %w", s.ID, err)
-		}
 		if s.Sat >= 0 {
 			from := s.Sat
+			// An injected transfer failure aborts the migration before any
+			// capacity moves: the session backs off and retries later,
+			// holding its current satellite when that is still alive.
+			if f := o.cfg.Faults; f != nil && !f.MigrationOK(s.ID, from, chosen.id, s.Retries) {
+				rep.MigrationFailures++
+				o.m.faultMig.Inc()
+				s.Retries++
+				s.RetryAt = o.now + o.backoffSec(s.Retries)
+				if evac {
+					// The source is gone: the session rides out the backoff
+					// unassigned (its state restores from the replicated
+					// checkpoint on the next attempt).
+					_ = o.nodes[from].Release(int(s.ID))
+					s.Sat = -1
+					o.nAssigned--
+					o.deferEvacuation(s, &rep)
+				}
+				continue
+			}
+			if err := o.nodes[chosen.id].Place(task(s)); err != nil {
+				return rep, fmt.Errorf("fleet: admission of session %d: %w", s.ID, err)
+			}
 			_ = o.nodes[from].Release(int(s.ID))
 			transfer := o.transferMs(from, chosen.id, s.Centroid)
 			res, merr := migrate.Live(
@@ -506,13 +645,27 @@ func (o *Orchestrator) Step() (EpochReport, error) {
 			o.m.handoffs.Inc()
 			o.m.placeHandoff.Inc()
 		} else {
+			// Unassigned (re-)placements restore from the pre-replicated
+			// generic state plus checkpoint, so no transfer coin is flipped.
+			if err := o.nodes[chosen.id].Place(task(s)); err != nil {
+				return rep, fmt.Errorf("fleet: admission of session %d: %w", s.ID, err)
+			}
 			rep.Placements++
 			o.nAssigned++
 			o.m.placeInitial.Inc()
 		}
+		if evac {
+			rep.Evacuations++
+			o.m.evacOK.Inc()
+			if s.Evacuating {
+				s.Evacuating = false
+				o.nEvacPending--
+			}
+		}
 		s.Sat = chosen.id
 		s.PlacedAt = o.now
 		s.RTTMs = chosen.rtt
+		s.Retries, s.RetryAt = 0, 0
 	}
 	o.m.rejections.Add(uint64(rep.Rejections))
 	for i := range proposals {
@@ -538,10 +691,13 @@ func (o *Orchestrator) Step() (EpochReport, error) {
 		util += n.UtilizationCores()
 	}
 	rep.MeanUtilization = util / float64(len(o.nodes))
+	rep.ISLDegradations = o.epochISL
 	rep.WallSec = time.Since(wall).Seconds()
 
 	o.m.sessions.Set(float64(rep.Sessions))
 	o.m.assigned.Set(float64(rep.Assigned))
+	o.m.downSats.Set(float64(rep.DownSats))
+	o.m.evacPending.Set(float64(o.nEvacPending))
 	o.m.epochs.Inc()
 	o.m.epochSec.Observe(rep.WallSec)
 	return rep, nil
@@ -557,6 +713,9 @@ func (o *Orchestrator) propose(s *Session) proposal {
 	var cands []candidate
 	qStart := time.Now()
 	o.idx.ForEachNear(s.CentroidLL.LatDeg, s.CentroidLL.LonDeg, s.SpreadKm, func(id int, pos geo.Vec3) {
+		if !o.satUp(id) {
+			return // hard-failed satellites take no placements
+		}
 		if rtt, ok := o.groupRTT(s, id, snap); ok {
 			cands = append(cands, candidate{id: id, rtt: rtt})
 		}
@@ -655,6 +814,11 @@ func (o *Orchestrator) transferMs(a, b int, centroid geo.Vec3) float64 {
 	relay := units.PropagationDelayMs(snap[a].Distance(centroid) + centroid.Distance(snap[b]))
 	if o.c.Satellites[a].ShellIndex != o.c.Satellites[b].ShellIndex {
 		return relay // the +grid does not link shells
+	}
+	if f := o.cfg.Faults; f != nil && f.ISLDegraded(a, b, o.now) {
+		o.m.faultISL.Inc()
+		o.epochISL++
+		return relay // flapped path: spill the transfer to the ground relay
 	}
 	key := uint64(a)<<32 | uint64(b)
 	islMs, ok := o.islMemo[key]

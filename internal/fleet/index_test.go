@@ -168,3 +168,57 @@ func TestReachableFromDstReuse(t *testing.T) {
 		}
 	}
 }
+
+// TestReachableFromEdgeCases pins the index to the exhaustive scan exactly
+// at the coordinate singularities: the poles (±90°), the dateline (±180°,
+// where colOf wraps), and points just shy of both — where row clamping and
+// dateline-window splitting are easiest to get wrong.
+func TestReachableFromEdgeCases(t *testing.T) {
+	c := starlink(t)
+	obs := visibility.NewObserver(c)
+	ix, err := NewIndex(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grounds := []geo.LatLon{
+		{LatDeg: 90, LonDeg: 0},    // north pole
+		{LatDeg: 90, LonDeg: 137},  // north pole, alternate longitude label
+		{LatDeg: -90, LonDeg: 0},   // south pole
+		{LatDeg: -90, LonDeg: -45}, // south pole, alternate longitude label
+		{LatDeg: 89.9, LonDeg: 10},
+		{LatDeg: -89.9, LonDeg: -170},
+		{LatDeg: 0, LonDeg: 180},  // dateline, east label
+		{LatDeg: 0, LonDeg: -180}, // dateline, west label (same meridian)
+		{LatDeg: 53, LonDeg: 180}, // dateline at shell inclination
+		{LatDeg: -53, LonDeg: -180},
+		{LatDeg: 12, LonDeg: 179.99},
+		{LatDeg: -12, LonDeg: -179.99},
+		{LatDeg: 89.9, LonDeg: 179.99}, // near-pole AND near-dateline
+		{LatDeg: -89.9, LonDeg: -179.99},
+	}
+	for _, tSec := range []float64{0, 1201} {
+		snap := c.Snapshot(tSec)
+		ix.Rebuild(snap)
+		for _, g := range grounds {
+			ground := g.ECEF()
+			want := obs.Reachable(ground, snap, nil)
+			got := ix.ReachableFrom(ground, nil)
+			sortPasses(want)
+			sortPasses(got)
+			if len(got) != len(want) {
+				t.Fatalf("t=%v %v: index %d passes, linear %d", tSec, g, len(got), len(want))
+			}
+			for i := range want {
+				if got[i].SatID != want[i].SatID {
+					t.Fatalf("t=%v %v: pass %d sat %d vs %d", tSec, g, i, got[i].SatID, want[i].SatID)
+				}
+				if math.Abs(got[i].SlantKm-want[i].SlantKm) > 1e-9 {
+					t.Fatalf("t=%v %v: sat %d slant %v vs %v", tSec, g, want[i].SatID, got[i].SlantKm, want[i].SlantKm)
+				}
+			}
+			if n := ix.CountReachableFrom(ground); n != len(want) {
+				t.Fatalf("t=%v %v: CountReachableFrom %d, want %d", tSec, g, n, len(want))
+			}
+		}
+	}
+}

@@ -19,6 +19,19 @@ type metricsSet struct {
 	indexQuery   *obs.Histogram // fleet_index_query_seconds
 	epochSec     *obs.Histogram // fleet_epoch_seconds
 	transferMs   *obs.Histogram // fleet_handoff_transfer_ms
+
+	// Fault-injection families (all events are counted even when no
+	// injector is configured — they then stay at zero).
+	faultSatFail  *obs.Counter // fleet_faults_total{kind="sat_fail"}
+	faultSatRec   *obs.Counter // fleet_faults_total{kind="sat_recover"}
+	faultMig      *obs.Counter // fleet_faults_total{kind="migration_fail"}
+	faultISL      *obs.Counter // fleet_faults_total{kind="isl_degraded"}
+	downSats      *obs.Gauge   // fleet_faults_down_satellites
+	evacOK        *obs.Counter // fleet_evacuations_total{result="ok"}
+	evacDeferred  *obs.Counter // fleet_evacuations_total{result="deferred"}
+	evacPending   *obs.Gauge   // fleet_evacuations_pending
+	migRetries    *obs.Counter // fleet_migration_retries_total
+	retryDeferred *obs.Counter // fleet_retry_backoff_deferrals_total
 }
 
 var (
@@ -33,7 +46,25 @@ var (
 func newMetrics(reg *obs.Registry) *metricsSet {
 	placements := reg.CounterVec("fleet_placements_total",
 		"Session placements by kind: initial admissions vs hand-off re-placements.", "kind")
+	faults := reg.CounterVec("fleet_faults_total",
+		"Injected fault events consumed by the orchestrator, by kind.", "kind")
+	evac := reg.CounterVec("fleet_evacuations_total",
+		"Sessions leaving a failed satellite: ok = re-placed, deferred = awaiting retry or capacity.", "result")
 	return &metricsSet{
+		faultSatFail: faults.With("sat_fail"),
+		faultSatRec:  faults.With("sat_recover"),
+		faultMig:     faults.With("migration_fail"),
+		faultISL:     faults.With("isl_degraded"),
+		downSats: reg.Gauge("fleet_faults_down_satellites",
+			"Satellites currently hard-failed."),
+		evacOK:       evac.With("ok"),
+		evacDeferred: evac.With("deferred"),
+		evacPending: reg.Gauge("fleet_evacuations_pending",
+			"Sessions off a failed satellite still waiting for a new assignment."),
+		migRetries: reg.Counter("fleet_migration_retries_total",
+			"Migration attempts that were retries after an injected transfer failure."),
+		retryDeferred: reg.Counter("fleet_retry_backoff_deferrals_total",
+			"Per-epoch placement skips while a session waits out its retry backoff."),
 		sessions: reg.Gauge("fleet_sessions",
 			"Sessions currently tracked by the fleet orchestrator."),
 		assigned: reg.Gauge("fleet_sessions_assigned",

@@ -43,6 +43,15 @@ type Session struct {
 	RTTMs float64
 	// Handoffs counts completed migrations.
 	Handoffs int
+	// Retries counts consecutive failed migration transfer attempts;
+	// RetryAt is the earliest simulated time the next attempt may run
+	// (capped exponential backoff). Both reset on a successful placement.
+	Retries int
+	RetryAt float64
+	// Evacuating marks a session that lost its satellite to a hard
+	// failure and is still waiting for a new assignment — set and cleared
+	// by the orchestrator so every evacuation is accounted for.
+	Evacuating bool
 }
 
 // NewSession builds a session from user locations with the default demand

@@ -140,10 +140,23 @@ func Midpoint(a, b LatLon) LatLon {
 	va := LatLon{LatDeg: a.LatDeg, LonDeg: a.LonDeg}.ECEF()
 	vb := LatLon{LatDeg: b.LatDeg, LonDeg: b.LonDeg}.ECEF()
 	m := va.Add(vb)
-	if m.Norm() < 1e-9 {
-		// Antipodal points: midpoint is ill-defined; pick a's pole-ward
-		// neighbour deterministically.
-		return LatLon{LatDeg: 0, LonDeg: a.LonDeg}
+	if m.Norm() < 1e-6 {
+		// Antipodal points: every great circle through a and b is a valid
+		// path, so the midpoint is ill-defined. Pick a's pole-ward
+		// neighbour deterministically: the point 90° from a along the
+		// meridian toward a's nearer pole (the north pole for equatorial
+		// a). When a is itself a pole, fall back to the equator point at
+		// a's longitude.
+		ua := va.Unit()
+		pole := Vec3{Z: 1}
+		if a.LatDeg < 0 {
+			pole.Z = -1
+		}
+		n := pole.Sub(ua.Scale(ua.Dot(pole)))
+		if n.Norm() < 1e-9 {
+			return LatLon{LatDeg: 0, LonDeg: a.LonDeg}
+		}
+		return FromECEF(n.Unit().Scale(units.EarthRadiusKm))
 	}
 	return FromECEF(m.Unit().Scale(units.EarthRadiusKm))
 }

@@ -274,3 +274,42 @@ func TestStringFormat(t *testing.T) {
 		t.Fatalf("String() = %q", got)
 	}
 }
+
+// TestMidpointAntipodal: for antipodal inputs the midpoint is ill-defined,
+// and the documented contract picks the point 90° from a toward a's nearer
+// pole, on a's meridian. The old code returned an equator point regardless
+// of a (a point 90° from a only when a itself sat on the equator).
+func TestMidpointAntipodal(t *testing.T) {
+	cases := []struct {
+		a, want LatLon
+	}{
+		// Northern-hemisphere a: midpoint is pole-ward along a's meridian.
+		{LatLon{LatDeg: 45, LonDeg: 10}, LatLon{LatDeg: 45, LonDeg: -170}},
+		{LatLon{LatDeg: 30, LonDeg: -100}, LatLon{LatDeg: 60, LonDeg: 80}},
+		// Southern-hemisphere a leans toward the south pole.
+		{LatLon{LatDeg: -30, LonDeg: -100}, LatLon{LatDeg: -60, LonDeg: 80}},
+		// Equatorial a: 90° toward the north pole IS the north pole.
+		{LatLon{LatDeg: 0, LonDeg: 0}, LatLon{LatDeg: 90, LonDeg: 0}},
+		// A pole itself has no pole-ward neighbour: documented fallback is
+		// the equator point at a's longitude.
+		{LatLon{LatDeg: 90, LonDeg: 0}, LatLon{LatDeg: 0, LonDeg: 0}},
+		{LatLon{LatDeg: -90, LonDeg: 25}, LatLon{LatDeg: 0, LonDeg: 25}},
+	}
+	for _, c := range cases {
+		b := LatLon{LatDeg: -c.a.LatDeg, LonDeg: c.a.LonDeg + 180}
+		if b.LonDeg > 180 {
+			b.LonDeg -= 360
+		}
+		m := Midpoint(c.a, b)
+		// Compare positions on the sphere, not raw coordinates: at the pole
+		// every longitude names the same point.
+		if d := GreatCircleKm(m, c.want); d > 1 {
+			t.Errorf("Midpoint(%v, %v) = %v, want %v (off by %.1f km)", c.a, b, m, c.want, d)
+		}
+		// The pick must still be equidistant from both endpoints.
+		da, db := GreatCircleKm(m, c.a), GreatCircleKm(m, b)
+		if !almostEq(da, db, 1e-3) {
+			t.Errorf("antipodal midpoint %v not equidistant: %v vs %v", m, da, db)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package migrate
+
+import (
+	"io"
+	"time"
+)
+
+// DeadlineConn is the subset of net.Conn the deadline wrappers need. Any
+// net.Conn satisfies it.
+type DeadlineConn interface {
+	SetReadDeadline(t time.Time) error
+	SetWriteDeadline(t time.Time) error
+}
+
+// TimeoutReader returns a reader that arms conn's read deadline before
+// every Read, so a stalled peer fails with a timeout error instead of
+// blocking forever. r may be the conn itself or a bufio.Reader layered
+// over it — buffered reads that never touch the conn are unaffected.
+// A non-positive timeout returns r unchanged.
+func TimeoutReader(r io.Reader, conn DeadlineConn, timeout time.Duration) io.Reader {
+	if timeout <= 0 {
+		return r
+	}
+	return &timeoutReader{r: r, conn: conn, d: timeout}
+}
+
+type timeoutReader struct {
+	r    io.Reader
+	conn DeadlineConn
+	d    time.Duration
+}
+
+func (t *timeoutReader) Read(p []byte) (int, error) {
+	if err := t.conn.SetReadDeadline(time.Now().Add(t.d)); err != nil {
+		return 0, err
+	}
+	return t.r.Read(p)
+}
+
+// TimeoutWriter returns a writer that arms conn's write deadline before
+// every Write — the write-side counterpart of TimeoutReader. A
+// non-positive timeout returns w unchanged.
+func TimeoutWriter(w io.Writer, conn DeadlineConn, timeout time.Duration) io.Writer {
+	if timeout <= 0 {
+		return w
+	}
+	return &timeoutWriter{w: w, conn: conn, d: timeout}
+}
+
+type timeoutWriter struct {
+	w    io.Writer
+	conn DeadlineConn
+	d    time.Duration
+}
+
+func (t *timeoutWriter) Write(p []byte) (int, error) {
+	if err := t.conn.SetWriteDeadline(time.Now().Add(t.d)); err != nil {
+		return 0, err
+	}
+	return t.w.Write(p)
+}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+
+	"repro/internal/obs"
 )
 
 // Wire protocol for real state transfers (used by cmd/meetupd): a tiny
@@ -158,26 +160,120 @@ func SendState(w io.Writer, generic, session []byte) error {
 // ReceiveState consumes frames until the cut-over marker and returns the
 // reassembled generic and session state.
 func ReceiveState(r io.Reader) (generic, session []byte, err error) {
+	var rx Receiver
+	if err := rx.Receive(r); err != nil {
+		return nil, nil, err
+	}
+	return rx.Generic, rx.Session, nil
+}
+
+// SendStateResumable streams a migration like SendState, but chunks both
+// payloads into frames of at most chunk bytes (0 means DefaultChunk) and
+// skips the first genericOff/sessionOff bytes — the prefix a receiver
+// already holds from an earlier, interrupted attempt (Receiver.Offsets).
+// Offsets outside [0, len] are an error: they indicate the two sides
+// disagree about the transfer.
+func SendStateResumable(w io.Writer, generic, session []byte, genericOff, sessionOff, chunk int) error {
+	if genericOff < 0 || genericOff > len(generic) || sessionOff < 0 || sessionOff > len(session) {
+		return fmt.Errorf("migrate: resume offsets %d/%d outside payloads %d/%d",
+			genericOff, sessionOff, len(generic), len(session))
+	}
+	if chunk <= 0 {
+		chunk = DefaultChunk
+	}
+	root := tracer.Load().Start("migrate.send")
+	root.SetAttr("generic_bytes", fmt.Sprint(len(generic)-genericOff))
+	root.SetAttr("session_bytes", fmt.Sprint(len(session)-sessionOff))
+	root.SetAttr("resumed", fmt.Sprint(genericOff+sessionOff > 0))
+	defer root.End()
+
+	if err := sendChunked(root, "send.generic", w, FrameGeneric, generic[genericOff:], chunk); err != nil {
+		return err
+	}
+	// The session frame is always written, even when empty or fully
+	// resumed, so the receiver's session buffer is marked present.
+	if err := sendChunked(root, "send.session", w, FrameSession, session[sessionOff:], chunk); err != nil {
+		return err
+	}
+	sp := root.Child("send.cutover")
+	err := WriteFrame(w, FrameCutover, nil)
+	sp.End()
+	return err
+}
+
+// DefaultChunk is the resumable-send frame payload size: small enough that
+// an interrupted transfer loses at most one chunk of progress, large
+// enough that frame overhead stays negligible.
+const DefaultChunk = 256 << 10
+
+// sendChunked writes payload as ceil(len/chunk) frames of the given kind
+// (at least one frame for FrameSession so an empty session still appears).
+func sendChunked(root *obs.Span, label string, w io.Writer, kind FrameKind, payload []byte, chunk int) error {
+	if len(payload) == 0 && kind != FrameSession {
+		return nil
+	}
+	sp := root.Child(label)
+	defer sp.End()
+	for {
+		n := len(payload)
+		if n > chunk {
+			n = chunk
+		}
+		if err := WriteFrame(w, kind, payload[:n]); err != nil {
+			return err
+		}
+		payload = payload[n:]
+		if len(payload) == 0 {
+			return nil
+		}
+	}
+}
+
+// Receiver reassembles a migration across one or more connections: frames
+// accumulate into Generic and Session, and when a transfer attempt dies
+// mid-stream the partial state is retained so the sender can resume from
+// Offsets instead of starting over.
+type Receiver struct {
+	// Generic and Session hold the bytes received so far.
+	Generic, Session []byte
+	// Done is true once the cut-over marker arrived.
+	Done bool
+}
+
+// Offsets returns how many generic and session bytes the receiver already
+// holds — what a resuming sender passes to SendStateResumable.
+func (rx *Receiver) Offsets() (generic, session int) {
+	return len(rx.Generic), len(rx.Session)
+}
+
+// Receive consumes frames from r until the cut-over marker. On error the
+// partially received state stays in the receiver for a later resume; on
+// success Done is set and the assembled state is in Generic/Session.
+func (rx *Receiver) Receive(r io.Reader) error {
+	if rx.Done {
+		return fmt.Errorf("migrate: receiver already completed")
+	}
 	root := tracer.Load().Start("migrate.receive")
 	defer func() {
-		root.SetAttr("generic_bytes", fmt.Sprint(len(generic)))
-		root.SetAttr("session_bytes", fmt.Sprint(len(session)))
+		root.SetAttr("generic_bytes", fmt.Sprint(len(rx.Generic)))
+		root.SetAttr("session_bytes", fmt.Sprint(len(rx.Session)))
 		root.End()
 	}()
 	for {
 		kind, payload, err := ReadFrame(r)
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
 		switch kind {
 		case FrameGeneric:
-			generic = append(generic, payload...)
+			rx.Generic = append(rx.Generic, payload...)
 		case FrameSession:
-			session = append(session, payload...)
+			rx.Session = append(rx.Session, payload...)
 		case FrameCutover:
-			return generic, session, nil
+			rx.Done = true
+			return nil
 		default:
-			return nil, nil, fmt.Errorf("migrate: unknown frame kind %d", kind)
+			return fmt.Errorf("migrate: unknown frame kind %d", kind)
 		}
 	}
 }

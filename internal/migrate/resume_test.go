@@ -1,0 +1,120 @@
+package migrate
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/iotest"
+)
+
+// truncWriter accepts at most n bytes, then fails — a transfer dying
+// mid-stream.
+type truncWriter struct {
+	buf bytes.Buffer
+	n   int
+}
+
+func (w *truncWriter) Write(p []byte) (int, error) {
+	if w.buf.Len()+len(p) > w.n {
+		keep := w.n - w.buf.Len()
+		if keep > 0 {
+			w.buf.Write(p[:keep])
+		}
+		return keep, io.ErrClosedPipe
+	}
+	return w.buf.Write(p)
+}
+
+func TestSendStateResumableRoundTrip(t *testing.T) {
+	generic := bytes.Repeat([]byte("g"), 1000)
+	session := bytes.Repeat([]byte("s"), 2500)
+
+	var buf bytes.Buffer
+	if err := SendStateResumable(&buf, generic, session, 0, 0, 512); err != nil {
+		t.Fatal(err)
+	}
+	var rx Receiver
+	if err := rx.Receive(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !rx.Done {
+		t.Fatal("receiver not done after cut-over")
+	}
+	if !bytes.Equal(rx.Generic, generic) || !bytes.Equal(rx.Session, session) {
+		t.Fatal("chunked round trip corrupted the state")
+	}
+}
+
+func TestSendStateResumableEmptySession(t *testing.T) {
+	// Even an empty session must arrive as a session frame before cut-over.
+	var buf bytes.Buffer
+	if err := SendStateResumable(&buf, nil, nil, 0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	var rx Receiver
+	if err := rx.Receive(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !rx.Done {
+		t.Fatal("empty transfer did not complete")
+	}
+}
+
+func TestSendStateResumableBadOffsets(t *testing.T) {
+	session := []byte("abc")
+	for _, off := range [][2]int{{-1, 0}, {0, -1}, {1, 0}, {0, 4}} {
+		if err := SendStateResumable(io.Discard, nil, session, off[0], off[1], 0); err == nil {
+			t.Errorf("offsets %v accepted", off)
+		}
+	}
+}
+
+// TestResumeAfterInterruptedTransfer is the end-to-end resume story: the
+// first attempt dies mid-stream, the receiver keeps the partial state, and
+// a second attempt starting from Offsets delivers the rest — no bytes
+// duplicated, none lost.
+func TestResumeAfterInterruptedTransfer(t *testing.T) {
+	generic := bytes.Repeat([]byte{0xAA}, 3000)
+	session := bytes.Repeat([]byte{0xBB}, 5000)
+
+	// Attempt 1: the link dies after 2 KiB on the wire.
+	w1 := &truncWriter{n: 2048}
+	if err := SendStateResumable(w1, generic, session, 0, 0, 1024); err == nil {
+		t.Fatal("send over a dying link succeeded")
+	}
+	var rx Receiver
+	// The receiver sees a truncated stream: partial state is retained.
+	if err := rx.Receive(iotest.DataErrReader(&w1.buf)); err == nil {
+		t.Fatal("receive of a truncated stream succeeded")
+	}
+	if rx.Done {
+		t.Fatal("receiver done without a cut-over marker")
+	}
+	gOff, sOff := rx.Offsets()
+	if gOff == 0 {
+		t.Fatal("no partial state survived the first attempt")
+	}
+	if !bytes.Equal(rx.Generic, generic[:gOff]) || !bytes.Equal(rx.Session, session[:sOff]) {
+		t.Fatal("partial state does not match the sent prefix")
+	}
+
+	// Attempt 2: resume from the receiver's offsets over a good link.
+	var w2 bytes.Buffer
+	if err := SendStateResumable(&w2, generic, session, gOff, sOff, 1024); err != nil {
+		t.Fatal(err)
+	}
+	if err := rx.Receive(&w2); err != nil {
+		t.Fatal(err)
+	}
+	if !rx.Done {
+		t.Fatal("resume did not complete")
+	}
+	if !bytes.Equal(rx.Generic, generic) || !bytes.Equal(rx.Session, session) {
+		t.Fatal("resumed transfer corrupted the state")
+	}
+
+	// A completed receiver refuses further transfers.
+	if err := rx.Receive(&bytes.Buffer{}); err == nil {
+		t.Fatal("completed receiver accepted another transfer")
+	}
+}

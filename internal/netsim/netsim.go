@@ -194,10 +194,12 @@ type Resource struct {
 
 	busyUntil float64
 	// accounting
-	served    int
-	busyTime  float64
-	queuedMax int
-	queuedNow int
+	served     int
+	busyTime   float64
+	queuedMax  int
+	queuedNow  int
+	outages    int
+	outageTime float64
 }
 
 // NewResource creates a resource served at rate units/second.
@@ -248,6 +250,30 @@ func (r *Resource) Submit(size float64, done func(finish float64)) (float64, err
 	}
 	return finish, nil
 }
+
+// Interrupt takes the resource out of service until the given simulated
+// time: queued jobs and jobs submitted during the outage start no earlier
+// than until. It models an injected fault — a flapped ISL or a satellite
+// payload fail-over (internal/faults drives these). Overlapping interrupts
+// extend the outage, never shorten it; an interrupt entirely in the past
+// or inside an existing commitment only counts the outage event.
+func (r *Resource) Interrupt(until float64) {
+	r.outages++
+	if gap := until - math.Max(r.sim.Now(), r.busyUntil); gap > 0 {
+		r.outageTime += gap
+	}
+	if until > r.busyUntil {
+		r.busyUntil = until
+	}
+}
+
+// Outages returns how many Interrupt calls the resource has absorbed.
+func (r *Resource) Outages() int { return r.outages }
+
+// OutageTime returns the total simulated seconds of injected unavailability
+// (time added beyond existing service commitments). Outage time does not
+// count as busy time in Utilization.
+func (r *Resource) OutageTime() float64 { return r.outageTime }
 
 // Utilization returns the fraction of [0, Now] the resource spent serving.
 func (r *Resource) Utilization() float64 {

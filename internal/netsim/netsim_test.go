@@ -281,3 +281,49 @@ func TestUninstrumentedSimUnaffected(t *testing.T) {
 		t.Fatal("event did not fire")
 	}
 }
+
+func TestResourceInterrupt(t *testing.T) {
+	s := New()
+	r, err := NewResource(s, "isl", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An outage on an idle resource pushes the next job's start to the
+	// outage end.
+	r.Interrupt(5)
+	if got := r.OutageTime(); got != 5 {
+		t.Fatalf("OutageTime = %v, want 5", got)
+	}
+	var finish float64
+	if _, err := r.Submit(10, func(f float64) { finish = f }); err != nil {
+		t.Fatal(err)
+	}
+	s.RunAll()
+	if finish != 6 { // starts at 5, serves 10 units at rate 10
+		t.Fatalf("job finished at %v, want 6", finish)
+	}
+
+	// An interrupt inside an existing commitment extends nothing and adds
+	// no outage time, but still counts the event.
+	r.Interrupt(3)
+	if got, want := r.Outages(), 2; got != want {
+		t.Fatalf("Outages = %d, want %d", got, want)
+	}
+	if got := r.OutageTime(); got != 5 {
+		t.Fatalf("OutageTime = %v, want 5 after no-op interrupt", got)
+	}
+
+	// Overlapping interrupts extend the outage, never shorten it.
+	r.Interrupt(8)
+	r.Interrupt(7)
+	if got := r.BusyUntil(); got != 8 {
+		t.Fatalf("BusyUntil = %v, want 8", got)
+	}
+	if got := r.OutageTime(); got != 7 { // 5 + (8-6)
+		t.Fatalf("OutageTime = %v, want 7", got)
+	}
+	// Outage time is not busy time: utilisation counts only served work.
+	if got := r.Utilization(); got != math.Min(1, 1.0/6.0) {
+		t.Fatalf("Utilization = %v, want %v", got, 1.0/6.0)
+	}
+}

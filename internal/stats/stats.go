@@ -19,8 +19,12 @@ type Summary struct {
 	m2   float64
 }
 
-// Add folds a value into the summary.
+// Add folds a value into the summary. NaN values are dropped: one NaN
+// would make every later Mean/Variance NaN.
 func (s *Summary) Add(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
 	if s.n == 0 {
 		s.min, s.max = v, v
 	} else {
@@ -78,16 +82,23 @@ func NewCDF(samples ...float64) *CDF {
 	return c
 }
 
-// Add appends one sample.
+// Add appends one sample. NaN samples are dropped: NaN compares false
+// with everything, so a single one would poison every later
+// Quantile/Median/At/Min (NaN order statistics and skewed ranks) with no
+// error surfacing.
 func (c *CDF) Add(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
 	c.samples = append(c.samples, v)
 	c.sorted = false
 }
 
-// AddAll appends samples.
+// AddAll appends samples, dropping NaNs (see Add).
 func (c *CDF) AddAll(vs []float64) {
-	c.samples = append(c.samples, vs...)
-	c.sorted = false
+	for _, v := range vs {
+		c.Add(v)
+	}
 }
 
 // N returns the sample count.

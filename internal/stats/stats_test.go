@@ -255,3 +255,55 @@ func TestQuantileAgainstSort(t *testing.T) {
 		}
 	}
 }
+
+func TestSummaryDropsNaN(t *testing.T) {
+	var s Summary
+	s.Add(1)
+	s.Add(math.NaN())
+	s.Add(3)
+	if s.N() != 2 {
+		t.Fatalf("N = %d, want 2 (NaN dropped)", s.N())
+	}
+	if s.Mean() != 2 || s.Min() != 1 || s.Max() != 3 {
+		t.Fatalf("mean/min/max = %v/%v/%v, want 2/1/3", s.Mean(), s.Min(), s.Max())
+	}
+	if math.IsNaN(s.Variance()) || math.IsNaN(s.Stddev()) {
+		t.Fatal("NaN leaked into variance")
+	}
+	// A summary fed only NaNs stays empty.
+	var empty Summary
+	empty.Add(math.NaN())
+	if empty.N() != 0 {
+		t.Fatalf("N = %d, want 0", empty.N())
+	}
+}
+
+func TestCDFDropsNaN(t *testing.T) {
+	c := NewCDF(5, math.NaN(), 1, 3, math.NaN())
+	if c.N() != 3 {
+		t.Fatalf("N = %d, want 3 (NaNs dropped)", c.N())
+	}
+	// NaN compares false with everything, so before the fix a single NaN
+	// skewed sort order and poisoned the order statistics.
+	if got := c.Median(); got != 3 {
+		t.Fatalf("Median = %v, want 3", got)
+	}
+	if got := c.Min(); got != 1 {
+		t.Fatalf("Min = %v, want 1", got)
+	}
+	if got := c.Max(); got != 5 {
+		t.Fatalf("Max = %v, want 5", got)
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 1} {
+		if v := c.Quantile(q); math.IsNaN(v) {
+			t.Fatalf("Quantile(%v) is NaN", q)
+		}
+	}
+	if math.IsNaN(c.Mean()) {
+		t.Fatal("Mean is NaN")
+	}
+	c.Add(math.NaN())
+	if c.N() != 3 {
+		t.Fatal("Add(NaN) grew the sample set")
+	}
+}
