@@ -94,6 +94,12 @@ func main() {
 	}
 	info.TotalSeconds = time.Since(runStart).Seconds()
 	info.SweepIterations = experiments.Progress() - startIters
+	es := experiments.EphemStats()
+	info.EphemCacheHits, info.EphemCacheMisses = es.Hits, es.Misses
+	if total := es.Hits + es.Misses; total > 0 {
+		fmt.Fprintf(os.Stderr, "ephem cache: %d hits / %d misses (%.1f%% hit rate, %d satellite propagations)\n",
+			es.Hits, es.Misses, 100*float64(es.Hits)/float64(total), es.PropagatedSats)
+	}
 
 	printTimingTable(info)
 	runinfoPath := filepath.Join(*out, "runinfo.json")

@@ -33,6 +33,11 @@ type runInfo struct {
 	Figures         []figTiming `json:"figures"`
 	TotalSeconds    float64     `json:"total_seconds"`
 	SweepIterations uint64      `json:"sweep_iterations"`
+
+	// Shared-ephemeris cache outcome for the whole run: how many snapshot
+	// requests were served from cached frames vs propagated fresh.
+	EphemCacheHits   uint64 `json:"ephem_cache_hits"`
+	EphemCacheMisses uint64 `json:"ephem_cache_misses"`
 }
 
 func newRunInfo(fast bool) runInfo {

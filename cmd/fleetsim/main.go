@@ -33,6 +33,7 @@ import (
 	"os"
 
 	"repro/internal/constellation"
+	"repro/internal/ephem"
 	"repro/internal/faults"
 	"repro/internal/fleet"
 	"repro/internal/obs"
@@ -398,6 +399,7 @@ func report(out io.Writer, orch *fleet.Orchestrator, in reportInputs) error {
 		{"satellites loaded", fmt.Sprintf("%d of %d", loaded, orch.Constellation().Size())},
 		{"core utilisation", fmt.Sprintf("mean %.1f%%, p50 %.1f%%, p90 %.1f%%, max %.1f%%",
 			100*mean(orch.Utilization()), 100*util.Quantile(0.50), 100*util.Quantile(0.90), 100*util.Max())},
+		{"ephemeris cache", ephemLine(orch.Ephemeris().Stats())},
 	}
 	if err := plot.Table(out, nil, rows); err != nil {
 		return err
@@ -419,6 +421,19 @@ func report(out io.Writer, orch *fleet.Orchestrator, in reportInputs) error {
 			100*ct.minAssignedFrac, 100*ct.finalAssignedFrac)},
 	}
 	return plot.Table(out, nil, crows)
+}
+
+// ephemLine formats the ring's ephemeris-cache outcome. A standalone run
+// requests every epoch instant exactly once (the ring rotation keeps old
+// frames alive without re-querying), so hits stay at zero unless the
+// engine is shared with other consumers of the same constellation.
+func ephemLine(s ephem.Stats) string {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return "unused"
+	}
+	return fmt.Sprintf("%d hits / %d misses (%.1f%% hit rate, %d sat propagations)",
+		s.Hits, s.Misses, 100*float64(s.Hits)/float64(total), s.PropagatedSats)
 }
 
 func mean(xs []float64) float64 {

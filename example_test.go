@@ -44,6 +44,63 @@ func ExampleNew_kuiper() {
 	// Output: Kuiper 3236
 }
 
+// ExampleNew_options configures the service with functional options: a
+// 30-second fleet epoch, a deeper ephemeris cache, and seeded fault
+// injection, then builds the fleet orchestrator those options describe.
+func ExampleNew_options() {
+	svc, err := inorbit.New(inorbit.Telesat,
+		inorbit.WithStepSec(30),
+		inorbit.WithEphemCache(128),
+		inorbit.WithFaults(inorbit.FaultConfig{Seed: 7, SatMTBFHours: 6, SatMTTRSec: 1800}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fleet, err := svc.Fleet()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := fleet.Start(0); err != nil {
+		log.Fatal(err)
+	}
+	_, armed, err := svc.Faults()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("servers:", svc.Servers())
+	fmt.Println("faults armed:", armed)
+	// Output:
+	// servers: 1671
+	// faults armed: true
+}
+
+// ExampleService_Ephemeris queries the stable propagation surface: shared
+// exact frames, exact fills of a caller buffer, and sub-step
+// interpolation between cached keyframes.
+func ExampleService_Ephemeris() {
+	svc, err := inorbit.New(inorbit.Telesat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eph := svc.Ephemeris()
+
+	frame := eph.SnapshotAt(60) // shared, immutable
+	dst := make([]inorbit.Vec3, eph.Size())
+	if err := eph.SnapshotInto(60, dst); err != nil { // exact, caller-owned
+		log.Fatal(err)
+	}
+	fmt.Println("exact paths agree:", frame[0] == dst[0])
+
+	if err := eph.Interpolated(61.5, dst); err != nil { // between keyframes
+		log.Fatal(err)
+	}
+	drift := dst[0].Sub(frame[0]).Norm()
+	fmt.Println("sub-step drift under 20 km:", drift > 0 && drift < 20)
+	// Output:
+	// exact paths agree: true
+	// sub-step drift under 20 km: true
+}
+
 // ExampleBuildConstellation assembles a custom Walker shell.
 func ExampleBuildConstellation() {
 	c, err := inorbit.BuildConstellation("demo", []inorbit.Shell{{

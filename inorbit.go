@@ -1,10 +1,17 @@
 // Package inorbit is the public facade of the in-orbit computing library —
 // a reproduction of "In-orbit Computing: An Outlandish thought Experiment?"
-// (HotNets 2020). It re-exports the stable API surface:
+// (HotNets 2020). Construction uses functional options:
 //
-//	svc, _ := inorbit.New(inorbit.Starlink, inorbit.Options{})
+//	svc, _ := inorbit.New(inorbit.Starlink,
+//	        inorbit.WithStepSec(30),
+//	        inorbit.WithEphemCache(128))
 //	view, _ := svc.Edge(0, inorbit.LatLon{LatDeg: 9.06, LonDeg: 7.49})
 //	fmt.Printf("nearest satellite-server: %.1f ms RTT\n", view.NearestRTTMs)
+//
+// Every snapshot consumer in a service — edge views, meetup planners,
+// virtual servers, the fleet orchestrator — shares one Ephemeris: the
+// parallel, cached propagation engine exported here as the stable
+// propagation surface.
 //
 // The deeper machinery (orbital mechanics, visibility, ISL routing, meetup
 // policies, migration, feasibility) lives in the internal packages; this
@@ -14,6 +21,7 @@ package inorbit
 import (
 	"repro/internal/constellation"
 	"repro/internal/core"
+	"repro/internal/ephem"
 	"repro/internal/faults"
 	"repro/internal/fleet"
 	"repro/internal/geo"
@@ -24,11 +32,9 @@ import (
 // LatLon is a geographic position (degrees north / east).
 type LatLon = geo.LatLon
 
-// Options configures a Service.
-type Options = core.Options
-
-// Service is the in-orbit computing service.
-type Service = core.Service
+// Vec3 is a 3-vector in km (ECEF unless noted) — the element type of
+// Ephemeris frames.
+type Vec3 = geo.Vec3
 
 // EdgeView answers "what compute can I reach from here, now".
 type EdgeView = core.EdgeView
@@ -63,15 +69,99 @@ const (
 	Telesat = core.Telesat
 )
 
-// New builds the service over a preset constellation.
-func New(choice core.ConstellationChoice, opts Options) (*Service, error) {
-	return core.NewService(choice, opts)
+// Ephemeris is the stable propagation surface: where every satellite is at
+// time t. Frames from SnapshotAt are shared and immutable; SnapshotInto
+// fills a caller buffer with exact positions; Interpolated trades a
+// bounded position error (see WithInterpolation) for cheaper sub-step
+// queries. The service-wide implementation parallelises propagation over
+// GOMAXPROCS workers and caches keyframes so concurrent consumers reuse
+// each other's work.
+type Ephemeris interface {
+	// Size returns the number of satellites per frame.
+	Size() int
+	// SnapshotAt returns the shared immutable ECEF frame at tSec.
+	SnapshotAt(tSec float64) []geo.Vec3
+	// SnapshotInto fills dst (length Size()) with exact positions at tSec.
+	SnapshotInto(tSec float64, dst []geo.Vec3) error
+	// Interpolated fills dst (length Size()) with positions interpolated
+	// between cached keyframes bracketing tSec.
+	Interpolated(tSec float64, dst []geo.Vec3) error
+}
+
+// Service is the in-orbit computing service. It embeds the core service —
+// Edge, Covered, Meetup, PlaceVirtualServer, Feasibility and the accessors
+// are available directly — and adds the construction-time wiring for the
+// fleet orchestrator and fault injection.
+type Service struct {
+	*core.Service
+	set settings
+}
+
+// New builds the service over a preset constellation. Pass functional
+// options (WithStepSec, WithFaults, WithEphemCache, ...) to configure it;
+// the legacy Options struct is also accepted.
+func New(choice core.ConstellationChoice, opts ...Option) (*Service, error) {
+	set := collect(opts)
+	svc, err := core.NewService(choice, set.core)
+	if err != nil {
+		return nil, err
+	}
+	return &Service{Service: svc, set: set}, nil
 }
 
 // NewCustom builds the service over a caller-assembled constellation
 // (see Shell and BuildConstellation).
-func NewCustom(c *constellation.Constellation, opts Options) (*Service, error) {
-	return core.NewServiceFor(c, opts)
+func NewCustom(c *constellation.Constellation, opts ...Option) (*Service, error) {
+	set := collect(opts)
+	svc, err := core.NewServiceFor(c, set.core)
+	if err != nil {
+		return nil, err
+	}
+	return &Service{Service: svc, set: set}, nil
+}
+
+func collect(opts []Option) settings {
+	var set settings
+	for _, o := range opts {
+		if o != nil {
+			o.apply(&set)
+		}
+	}
+	return set
+}
+
+// Ephemeris returns the service-wide propagation engine.
+func (s *Service) Ephemeris() Ephemeris { return s.Service.Ephemeris() }
+
+// Fleet builds a fleet orchestrator from the service's construction
+// options (WithStepSec, WithFleet, WithWorkers, ...), sharing the
+// service's ISL grid and ephemeris engine. WithFaults arms it with a
+// fresh injector. Each call returns an independent orchestrator.
+func (s *Service) Fleet() (*Fleet, error) {
+	cfg := s.set.fleet
+	cfg.Ephem = s.Service.Ephemeris()
+	if s.set.faults != nil {
+		inj, err := faults.New(s.Servers(), *s.set.faults)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Faults = inj
+	}
+	return fleet.New(s.Constellation(), s.Grid(), cfg)
+}
+
+// Faults builds a fault injector from the WithFaults configuration, or
+// reports ok=false when the service was built without one. Injectors are
+// single-consumer: build one per orchestrator or experiment.
+func (s *Service) Faults() (inj *FaultInjector, ok bool, err error) {
+	if s.set.faults == nil {
+		return nil, false, nil
+	}
+	inj, err = faults.New(s.Servers(), *s.set.faults)
+	if err != nil {
+		return nil, false, err
+	}
+	return inj, true, nil
 }
 
 // Shell is one Walker-delta constellation shell.
@@ -96,8 +186,13 @@ type FleetConfig = fleet.Config
 type FleetSession = fleet.Session
 
 // NewFleet builds a fleet orchestrator over the service's constellation,
-// sharing its ISL grid.
+// sharing its ISL grid and ephemeris engine.
+//
+// Deprecated: build the service with the fleet options you need
+// (WithStepSec, WithFleet, WithFaults) and call Service.Fleet instead;
+// this constructor ignores the service's construction options.
 func NewFleet(svc *Service, cfg FleetConfig) (*Fleet, error) {
+	cfg.Ephem = svc.Service.Ephemeris()
 	return fleet.New(svc.Constellation(), svc.Grid(), cfg)
 }
 
@@ -109,14 +204,20 @@ func NewFleetSession(id uint64, users []LatLon) (*FleetSession, error) {
 
 // FaultInjector is the deterministic chaos layer: seeded satellite hard
 // failures, ISL degradation windows, and migration transfer failures (see
-// internal/faults). Pass one via FleetConfig.Faults to exercise graceful
-// degradation.
+// internal/faults). Arm a service with WithFaults to have Service.Fleet
+// wire one in automatically.
 type FaultInjector = faults.Injector
 
 // FaultConfig parameterises a FaultInjector.
 type FaultConfig = faults.Config
 
 // NewFaultInjector builds an injector for the service's constellation.
+//
+// Deprecated: build the service with WithFaults and use Service.Faults
+// (or Service.Fleet, which arms the orchestrator itself).
 func NewFaultInjector(svc *Service, cfg FaultConfig) (*FaultInjector, error) {
 	return faults.New(svc.Constellation().Size(), cfg)
 }
+
+// Interp compile-time check: the engine is the facade's Ephemeris.
+var _ Ephemeris = (*ephem.Engine)(nil)

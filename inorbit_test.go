@@ -122,3 +122,122 @@ func TestFleetFacade(t *testing.T) {
 		}
 	}
 }
+
+// smallService builds a service over a 48-satellite custom shell so option
+// tests don't pay Starlink-scale construction per case.
+func smallService(t testing.TB, opts ...Option) *Service {
+	t.Helper()
+	c, err := BuildConstellation("opt-test", []Shell{{
+		Name: "s", AltitudeKm: 600, InclinationDeg: 55,
+		Planes: 6, SatsPerPlane: 8, MinElevationDeg: 25,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := NewCustom(c, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
+func TestOptionsFacade(t *testing.T) {
+	svc := smallService(t,
+		WithStepSec(30),
+		WithEphemCache(16),
+		WithWorkers(2),
+		WithFaults(FaultConfig{Seed: 3, SatMTBFHours: 4, SatMTTRSec: 600}),
+	)
+
+	// Faults() reflects WithFaults and builds a fresh injector per call.
+	inj, ok, err := svc.Faults()
+	if err != nil || !ok || inj == nil {
+		t.Fatalf("Faults() = %v, %v, %v; want armed", inj, ok, err)
+	}
+	inj2, _, _ := svc.Faults()
+	if inj == inj2 {
+		t.Fatal("Faults() must build independent injectors")
+	}
+
+	// Fleet() honours the construction options and shares the service's
+	// ephemeris engine; each call is an independent orchestrator.
+	fl, err := svc.Fleet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if any(fl.Ephemeris()) != svc.Ephemeris() {
+		t.Fatal("Fleet must share the service-wide ephemeris engine")
+	}
+	fl2, err := svc.Fleet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fl == fl2 {
+		t.Fatal("Fleet() must build independent orchestrators")
+	}
+	if err := fl.Start(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultsWithoutOption(t *testing.T) {
+	svc := smallService(t)
+	inj, ok, err := svc.Faults()
+	if inj != nil || ok || err != nil {
+		t.Fatalf("Faults() = %v, %v, %v; want unarmed", inj, ok, err)
+	}
+}
+
+func TestOptionOrderAndLegacyMerge(t *testing.T) {
+	// A negative ISL rate is rejected at construction whichever style set it.
+	if _, err := New(Telesat, Options{ISLBandwidthGbps: -1}); err == nil {
+		t.Fatal("legacy Options must still reach core validation")
+	}
+	if _, err := New(Telesat, WithISLBandwidth(-1)); err == nil {
+		t.Fatal("WithISLBandwidth must reach core validation")
+	}
+	// Later options win: a valid legacy struct repairs the earlier option...
+	if _, err := New(Telesat, WithISLBandwidth(-1), Options{ISLBandwidthGbps: 2.5}); err != nil {
+		t.Fatalf("later Options should override earlier option: %v", err)
+	}
+	// ...but a zero-valued legacy struct merges nothing and must not reset
+	// settings accumulated before it.
+	if _, err := New(Telesat, WithISLBandwidth(-1), Options{}); err == nil {
+		t.Fatal("zero legacy Options must not clobber earlier options")
+	}
+}
+
+func TestDeprecatedConstructorsStillWork(t *testing.T) {
+	svc := smallService(t)
+	fl, err := NewFleet(svc, FleetConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if any(fl.Ephemeris()) != svc.Ephemeris() {
+		t.Fatal("NewFleet must share the service-wide ephemeris engine")
+	}
+	inj, err := NewFaultInjector(svc, FaultConfig{Seed: 1, SatMTBFHours: 4, SatMTTRSec: 600})
+	if err != nil || inj == nil {
+		t.Fatalf("NewFaultInjector: %v, %v", inj, err)
+	}
+}
+
+func TestEphemerisFacadeMatchesPropagator(t *testing.T) {
+	svc := smallService(t)
+	eph := svc.Ephemeris()
+	c := svc.Constellation()
+	if eph.Size() != c.Size() {
+		t.Fatalf("Size() = %d, want %d", eph.Size(), c.Size())
+	}
+	for _, tSec := range []float64{0, 17.25, 60, 3600} {
+		snap := eph.SnapshotAt(tSec)
+		for i, s := range c.Satellites {
+			if want := s.Prop.ECEFAt(tSec); snap[i] != want {
+				t.Fatalf("t=%v sat %d: %v, want %v", tSec, i, snap[i], want)
+			}
+		}
+	}
+	if err := eph.SnapshotInto(0, make([]Vec3, 3)); err == nil {
+		t.Fatal("SnapshotInto must reject a wrong-length dst")
+	}
+}

@@ -150,8 +150,15 @@ func (c *Constellation) Snapshot(tSec float64) []geo.Vec3 {
 }
 
 // SnapshotInto fills dst (which must have length Size()) with ECEF positions
-// at t seconds after epoch, avoiding allocation in sweeps.
+// at t seconds after epoch, avoiding allocation in sweeps. A wrong-sized
+// dst panics immediately with a descriptive message rather than an
+// index-out-of-range deep in the loop (or, worse, silently filling a
+// prefix when dst is too long).
 func (c *Constellation) SnapshotInto(tSec float64, dst []geo.Vec3) {
+	if len(dst) != len(c.Satellites) {
+		panic(fmt.Sprintf("constellation: SnapshotInto dst length %d, want %d satellites (%s)",
+			len(dst), len(c.Satellites), c.Name))
+	}
 	for i, s := range c.Satellites {
 		dst[i] = s.Prop.ECEFAt(tSec)
 	}

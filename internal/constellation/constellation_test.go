@@ -2,6 +2,7 @@ package constellation
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -164,6 +165,28 @@ func TestSnapshotIntoMatchesSnapshot(t *testing.T) {
 		if a[i] != b[i] {
 			t.Fatalf("mismatch at %d: %v vs %v", i, a[i], b[i])
 		}
+	}
+}
+
+func TestSnapshotIntoWrongLengthPanics(t *testing.T) {
+	c, err := Telesat(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{0, 3, c.Size() - 1, c.Size() + 1} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("dst length %d: want panic", n)
+				}
+				msg, ok := r.(string)
+				if !ok || !strings.Contains(msg, "SnapshotInto dst length") {
+					t.Fatalf("dst length %d: unhelpful panic %v", n, r)
+				}
+			}()
+			c.SnapshotInto(0, make([]geo.Vec3, n))
+		}()
 	}
 }
 

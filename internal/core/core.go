@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/compute"
 	"repro/internal/constellation"
+	"repro/internal/ephem"
 	"repro/internal/feasibility"
 	"repro/internal/geo"
 	"repro/internal/isl"
@@ -47,6 +48,9 @@ type Options struct {
 	// ISLBandwidthGbps is the inter-satellite link capacity used for state
 	// migration; zero means the default laser-terminal class rate.
 	ISLBandwidthGbps float64
+	// Ephem tunes the service-wide ephemeris engine (workers, cache
+	// frames, interpolation); the zero value uses the ephem defaults.
+	Ephem ephem.Config
 }
 
 // Service is the in-orbit computing service over one constellation.
@@ -54,6 +58,7 @@ type Service struct {
 	constellation *constellation.Constellation
 	observer      *visibility.Observer
 	grid          *isl.Grid
+	ephem         *ephem.Engine
 	provider      *meetup.Provider
 	opts          Options
 }
@@ -97,11 +102,16 @@ func NewServiceFor(c *constellation.Constellation, opts Options) (*Service, erro
 	if opts.ISLBandwidthGbps < 0 {
 		return nil, fmt.Errorf("core: negative ISL bandwidth")
 	}
+	// One engine serves every snapshot consumer in the service: the
+	// provider (meetup planners, virtual servers), the observer's pass
+	// sweeps, and group networks built over the provider.
+	eng := ephem.New(c, opts.Ephem)
 	return &Service{
 		constellation: c,
-		observer:      visibility.NewObserver(c),
+		observer:      visibility.NewObserver(c).UseEphemeris(eng),
 		grid:          isl.NewPlusGrid(c),
-		provider:      meetup.NewProvider(c),
+		ephem:         eng,
+		provider:      meetup.NewProviderFor(eng),
 		opts:          opts,
 	}, nil
 }
@@ -117,6 +127,9 @@ func (s *Service) Grid() *isl.Grid { return s.grid }
 
 // Provider exposes the shared snapshot provider.
 func (s *Service) Provider() *meetup.Provider { return s.provider }
+
+// Ephemeris exposes the service-wide ephemeris engine.
+func (s *Service) Ephemeris() *ephem.Engine { return s.ephem }
 
 // Servers returns the total number of satellite-servers.
 func (s *Service) Servers() int { return s.constellation.Size() }

@@ -1,0 +1,266 @@
+package ephem
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/constellation"
+	"repro/internal/geo"
+	"repro/internal/obs"
+)
+
+// testConst builds a mid-size single-shell constellation: big enough
+// (576 sats) to engage the parallel propagation path under Workers > 1.
+func testConst(t testing.TB) *constellation.Constellation {
+	t.Helper()
+	c, err := constellation.Build("ephem-test", []constellation.Shell{{
+		Name: "shell-550", AltitudeKm: 550, InclinationDeg: 53,
+		Planes: 24, SatsPerPlane: 24, PhaseFactor: 11, MinElevationDeg: 25,
+	}}, constellation.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func testEngine(t testing.TB, cfg Config) *Engine {
+	t.Helper()
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewRegistry()
+	}
+	return New(testConst(t), cfg)
+}
+
+// TestDifferentialExact pins the engine — parallel propagation, cached and
+// uncached, grid and off-grid — byte-for-byte against direct Prop.ECEFAt
+// across a full orbital period. This is the guarantee that rewiring
+// consumers onto the engine cannot change any published figure.
+func TestDifferentialExact(t *testing.T) {
+	c := testConst(t)
+	eng := New(c, Config{Workers: 4, Registry: obs.NewRegistry()})
+	period := c.Satellites[0].Prop.Elements().PeriodSec()
+	want := make([]geo.Vec3, c.Size())
+	into := make([]geo.Vec3, c.Size())
+	interp := make([]geo.Vec3, c.Size())
+	for k := 0; k <= 97; k++ {
+		// Mix of grid (multiples of 60) and ragged off-grid instants.
+		tt := float64(k) / 97 * period
+		for i, s := range c.Satellites {
+			want[i] = s.Prop.ECEFAt(tt)
+		}
+		got := eng.SnapshotAt(tt)
+		again := eng.SnapshotAt(tt) // cached path
+		if err := eng.SnapshotInto(tt, into); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if want[i] != got[i] || want[i] != again[i] || want[i] != into[i] {
+				t.Fatalf("t=%g sat=%d: engine %v / %v / %v != direct %v", tt, i, got[i], again[i], into[i], want[i])
+			}
+		}
+	}
+	// Exact grid instants through Interpolated are copies of the exact
+	// keyframe, not interpolants.
+	if err := eng.Interpolated(120, interp); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range c.Satellites {
+		if interp[i] != s.Prop.ECEFAt(120) {
+			t.Fatalf("grid-instant Interpolated differs at sat %d", i)
+		}
+	}
+}
+
+func TestSnapshotSharingAndStats(t *testing.T) {
+	eng := testEngine(t, Config{})
+	a := eng.SnapshotAt(100)
+	b := eng.SnapshotAt(100)
+	if &a[0] != &b[0] {
+		t.Fatal("same-time snapshots should share one backing array")
+	}
+	st := eng.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss", st)
+	}
+	if st.PropagatedSats != uint64(eng.Size()) {
+		t.Fatalf("propagated %d sats, want %d", st.PropagatedSats, eng.Size())
+	}
+}
+
+func TestLRUEvictionBounded(t *testing.T) {
+	eng := testEngine(t, Config{CacheFrames: 4, GridFrames: 4})
+	for k := 0; k < 100; k++ {
+		eng.SnapshotAt(float64(k) + 0.5) // off-grid → LRU tier
+	}
+	if st := eng.Stats(); st.Frames > 4 {
+		t.Fatalf("LRU held %d frames, cap 4", st.Frames)
+	}
+	for k := 0; k < 100; k++ {
+		eng.SnapshotAt(float64(k) * 60) // grid tier
+	}
+	if st := eng.Stats(); st.Frames > 8 {
+		t.Fatalf("both tiers held %d frames, caps 4+4", st.Frames)
+	}
+}
+
+// TestGridTierProtected is the point of the two-tier cache: a long
+// off-grid sweep (the LRU-adversarial access pattern of session
+// simulations) must not flush grid keyframes.
+func TestGridTierProtected(t *testing.T) {
+	eng := testEngine(t, Config{CacheFrames: 2, GridFrames: 8})
+	kf := eng.SnapshotAt(60) // grid keyframe
+	for k := 0; k < 50; k++ {
+		eng.SnapshotAt(float64(k) + 0.25) // flood the LRU tier
+	}
+	before := eng.Stats()
+	again := eng.SnapshotAt(60)
+	after := eng.Stats()
+	if after.Hits != before.Hits+1 {
+		t.Fatal("grid keyframe was evicted by the off-grid sweep")
+	}
+	if &kf[0] != &again[0] {
+		t.Fatal("grid keyframe re-propagated instead of shared")
+	}
+}
+
+func TestSnapshotIntoLengthError(t *testing.T) {
+	eng := testEngine(t, Config{})
+	if err := eng.SnapshotInto(0, make([]geo.Vec3, 3)); err == nil {
+		t.Fatal("want length-mismatch error")
+	}
+	if err := eng.Interpolated(0.5, make([]geo.Vec3, 3)); err == nil {
+		t.Fatal("want length-mismatch error")
+	}
+}
+
+// TestInterpolationErrorBounds pins the documented error bounds at the
+// default 60 s grid: Hermite stays metre-scale, Linear kilometre-scale
+// (chord sag r(ωh)²/8 ≈ 3.7 km for a 550 km shell).
+func TestInterpolationErrorBounds(t *testing.T) {
+	period := testConst(t).Satellites[0].Prop.Elements().PeriodSec()
+
+	herm := testEngine(t, Config{Interp: Hermite, GridFrames: 256})
+	hermKm, err := herm.MeasureError(0, period, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hermKm > 0.01 {
+		t.Fatalf("Hermite max error %.4f km, want metre-scale (< 0.01 km)", hermKm)
+	}
+
+	lin := testEngine(t, Config{Interp: Linear, GridFrames: 256})
+	linKm, err := lin.MeasureError(0, period, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if linKm < 0.5 || linKm > 10 {
+		t.Fatalf("Linear max error %.3f km, want chord-sag scale (0.5..10 km)", linKm)
+	}
+	if hermKm*50 > linKm {
+		t.Fatalf("Hermite (%.4f km) should beat Linear (%.3f km) by orders of magnitude", hermKm, linKm)
+	}
+}
+
+func TestKeyframeFloors(t *testing.T) {
+	eng := testEngine(t, Config{})
+	kf := eng.Keyframe(119.9)
+	want := eng.SnapshotAt(60)
+	if &kf[0] != &want[0] {
+		t.Fatal("Keyframe(119.9) should return the t=60 grid frame")
+	}
+	neg := eng.Keyframe(-0.5)
+	wantNeg := eng.SnapshotAt(-60)
+	if &neg[0] != &wantNeg[0] {
+		t.Fatal("Keyframe(-0.5) should floor to the t=-60 grid frame")
+	}
+}
+
+func TestMeasureErrorValidates(t *testing.T) {
+	eng := testEngine(t, Config{})
+	if _, err := eng.MeasureError(0, 0, 10); err == nil {
+		t.Fatal("want error for zero span")
+	}
+	if _, err := eng.MeasureError(0, 100, 0); err == nil {
+		t.Fatal("want error for zero samples")
+	}
+}
+
+// TestConcurrent hammers all entry points from many goroutines over
+// overlapping instants; run under -race in CI.
+func TestConcurrent(t *testing.T) {
+	eng := testEngine(t, Config{Workers: 2, CacheFrames: 8, GridFrames: 8})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			dst := make([]geo.Vec3, eng.Size())
+			for k := 0; k < 30; k++ {
+				tt := float64((g*k)%7) * 30
+				snap := eng.SnapshotAt(tt)
+				if snap[0].Norm() < 6000 {
+					t.Errorf("implausible radius %v", snap[0])
+					return
+				}
+				if err := eng.SnapshotInto(tt+0.5, dst); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := eng.Interpolated(tt+7.3, dst); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestModeString(t *testing.T) {
+	if Hermite.String() != "hermite" || Linear.String() != "linear" {
+		t.Fatal("mode names changed")
+	}
+	if Mode(42).String() != "Mode(42)" {
+		t.Fatal("unknown mode formatting changed")
+	}
+}
+
+// TestGridIndex covers grid classification edge cases, including
+// negative times.
+func TestGridIndex(t *testing.T) {
+	eng := testEngine(t, Config{})
+	cases := []struct {
+		t    float64
+		idx  int64
+		grid bool
+	}{
+		{0, 0, true}, {60, 1, true}, {-60, -1, true}, {120, 2, true},
+		{30, 0, false}, {59.999, 0, false}, {-0.5, 0, false},
+	}
+	for _, c := range cases {
+		idx, ok := eng.gridIndex(c.t)
+		if ok != c.grid || (ok && idx != c.idx) {
+			t.Fatalf("gridIndex(%g) = %d,%v want %d,%v", c.t, idx, ok, c.idx, c.grid)
+		}
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	eng := testEngine(t, Config{CacheFrames: -1, GridFrames: -1})
+	a := eng.SnapshotAt(0)
+	b := eng.SnapshotAt(0)
+	if &a[0] == &b[0] {
+		t.Fatal("caching disabled, snapshots should be distinct buffers")
+	}
+	if st := eng.Stats(); st.Frames != 0 || st.Hits != 0 {
+		t.Fatalf("stats = %+v, want no frames/hits with caching off", st)
+	}
+	// Values still exact.
+	if a[0] != b[0] {
+		t.Fatal("uncached snapshots disagree")
+	}
+	if math.IsNaN(a[0].X) {
+		t.Fatal("NaN position")
+	}
+}

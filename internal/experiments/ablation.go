@@ -93,7 +93,7 @@ func TransferAblation(cfg Fig67Config) (TransferAblationResult, error) {
 		if err != nil {
 			return TransferAblationResult{}, err
 		}
-		prov := meetup.NewProvider(c)
+		prov := meetup.NewProviderFor(engineFor(c))
 		sr, err := p.Simulate(prov, meetup.Sticky, 0, cfg.DurationSec, cfg.StepSec)
 		if err != nil {
 			continue
@@ -154,7 +154,7 @@ func MaskAblation(masks []float64, latStep float64, samples int) ([]MaskAblation
 		row := MaskAblationRow{MaskDeg: mask}
 		total, count := 0, 0
 		for s := 0; s < samples; s++ {
-			snap := c.Snapshot(float64(s) * 60)
+			snap := engineFor(c).SnapshotAt(float64(s) * 60)
 			for lat := 0.0; lat <= 60; lat += latStep {
 				g := geo.LatLon{LatDeg: lat}.ECEF()
 				n := obs.CountReachable(g, snap)

@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"repro/internal/constellation"
+	"repro/internal/ephem"
 	"repro/internal/obs"
 )
 
@@ -24,25 +25,29 @@ type ConstellationSet struct {
 // Both returns the paper's default pair: Starlink Phase I and Kuiper.
 func Both() ConstellationSet { return ConstellationSet{Starlink: true, Kuiper: true} }
 
-// build materialises the selected constellations in order.
+// build materialises the selected constellations in order. Presets are
+// memoised process-wide so every figure sweeps the same constellation
+// object and therefore shares one ephemeris engine (see engineFor):
+// Fig 2 re-requests the instants Fig 1 propagated, Fig 5 the snapshot
+// Fig 4 used, and so on across the whole suite.
 func (cs ConstellationSet) build() ([]*constellation.Constellation, error) {
 	var out []*constellation.Constellation
 	if cs.Starlink {
-		c, err := constellation.StarlinkPhase1(constellation.Config{})
+		c, err := pooledPreset("starlink", constellation.StarlinkPhase1)
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, c)
 	}
 	if cs.Kuiper {
-		c, err := constellation.Kuiper(constellation.Config{})
+		c, err := pooledPreset("kuiper", constellation.Kuiper)
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, c)
 	}
 	if cs.Telesat {
-		c, err := constellation.Telesat(constellation.Config{})
+		c, err := pooledPreset("telesat", constellation.Telesat)
 		if err != nil {
 			return nil, err
 		}
@@ -52,6 +57,69 @@ func (cs ConstellationSet) build() ([]*constellation.Constellation, error) {
 		return nil, fmt.Errorf("experiments: empty constellation set")
 	}
 	return out, nil
+}
+
+var (
+	poolMu     sync.Mutex
+	constPool  = map[string]*constellation.Constellation{}
+	enginePool = map[*constellation.Constellation]*ephem.Engine{}
+)
+
+func pooledPreset(name string, build func(constellation.Config) (*constellation.Constellation, error)) (*constellation.Constellation, error) {
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	if c, ok := constPool[name]; ok {
+		return c, nil
+	}
+	c, err := build(constellation.Config{})
+	if err != nil {
+		return nil, err
+	}
+	constPool[name] = c
+	return c, nil
+}
+
+// Sweep-sized shared-engine caches. A figure-scale session sweep touches a
+// few hundred distinct instants; holding them all lets MinMax and Sticky
+// passes (and later figures) replay each other's frames instead of
+// re-propagating. 384 Starlink-scale frames is ~40 MiB — acceptable for
+// the batch figure/benchmark binaries that are this package's only
+// consumers. The protected grid tier additionally pins the 60 s keyframes
+// that Sticky lookahead sampling keeps revisiting.
+const (
+	sweepCacheFrames = 384
+	sweepGridFrames  = 128
+)
+
+// EphemStats sums cache statistics across the pooled per-constellation
+// ephemeris engines — the figure runner reports it so a run shows how much
+// propagation work the shared cache absorbed.
+func EphemStats() ephem.Stats {
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	var total ephem.Stats
+	for _, e := range enginePool {
+		s := e.Stats()
+		total.Hits += s.Hits
+		total.Misses += s.Misses
+		total.Frames += s.Frames
+		total.PropagatedSats += s.PropagatedSats
+		total.Interpolations += s.Interpolations
+	}
+	return total
+}
+
+// engineFor returns the process-wide shared ephemeris engine for a
+// constellation produced by build(). Safe for concurrent sweep workers.
+func engineFor(c *constellation.Constellation) *ephem.Engine {
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	if e, ok := enginePool[c]; ok {
+		return e
+	}
+	e := ephem.New(c, ephem.Config{CacheFrames: sweepCacheFrames, GridFrames: sweepGridFrames})
+	enginePool[c] = e
+	return e
 }
 
 // progressDone counts completed parallelFor iterations process-wide; it is

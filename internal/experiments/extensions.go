@@ -121,7 +121,7 @@ func Matchmaking(cfg MatchmakingConfig) ([]MatchmakingRow, error) {
 		return nil, err
 	}
 	c := consts[0]
-	prov := meetup.NewProvider(c)
+	prov := meetup.NewProviderFor(engineFor(c))
 
 	// Terrestrial path model: fiber to the data center.
 	var popLocs []geo.LatLon

@@ -208,7 +208,7 @@ func CDNStudy(topN int) ([]CDNRow, error) {
 	}
 	ter := cdn.Terrestrial{PoPs: pops}.Defaults()
 	orb := cdn.Orbital{Observer: visibility.NewObserver(c)}
-	snap := c.Snapshot(0)
+	snap := engineFor(c).SnapshotAt(0)
 
 	terCDF, orbCDF := stats.NewCDF(), stats.NewCDF()
 	over100T, over100O, covered := 0, 0, 0

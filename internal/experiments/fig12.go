@@ -95,10 +95,11 @@ func Fig1(cfg LatitudeSweepConfig) ([]Fig1Result, error) {
 
 func fig1One(c *constellation.Constellation, cfg LatitudeSweepConfig) (Fig1Result, error) {
 	obs := visibility.NewObserver(c)
+	eng := engineFor(c)
 	steps := int(cfg.DurationSec/cfg.SampleEverySec) + 1
 	snapshots := make([][]geo.Vec3, steps)
 	for i := 0; i < steps; i++ {
-		snapshots[i] = c.Snapshot(float64(i) * cfg.SampleEverySec)
+		snapshots[i] = eng.SnapshotAt(float64(i) * cfg.SampleEverySec)
 	}
 	nLats := int(90/cfg.LatStepDeg) + 1
 	rows := make([]Fig1Row, nLats)
@@ -164,10 +165,11 @@ func Fig2(cfg LatitudeSweepConfig) ([]Fig2Result, error) {
 	var out []Fig2Result
 	for _, c := range consts {
 		obs := visibility.NewObserver(c)
+		eng := engineFor(c)
 		steps := int(cfg.DurationSec/cfg.SampleEverySec) + 1
 		snapshots := make([][]geo.Vec3, steps)
 		for i := 0; i < steps; i++ {
-			snapshots[i] = c.Snapshot(float64(i) * cfg.SampleEverySec)
+			snapshots[i] = eng.SnapshotAt(float64(i) * cfg.SampleEverySec)
 		}
 		nLats := int(90/cfg.LatStepDeg) + 1
 		rows := make([]Fig2Row, nLats)

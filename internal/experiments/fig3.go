@@ -129,7 +129,7 @@ func Fig3(sc Fig3Scenario, cfg Fig3Config) (Fig3Result, error) {
 		}
 	}
 
-	prov := meetup.NewProvider(c)
+	prov := meetup.NewProviderFor(engineFor(c))
 	net := meetup.GroupNetwork(prov, sc.Users, sites)
 
 	res := Fig3Result{Scenario: sc}

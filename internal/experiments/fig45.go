@@ -70,7 +70,7 @@ func Fig4(cfg Fig4Config) ([]Fig4Result, error) {
 	var out []Fig4Result
 	for _, c := range consts {
 		obs := visibility.NewObserver(c)
-		snap := c.Snapshot(cfg.SnapshotSec)
+		snap := engineFor(c).SnapshotAt(cfg.SnapshotSec)
 		// firstSeen[id] = smallest city rank (1-based) that sees sat id,
 		// or 0 when no city in the full list does. One pass covers all n.
 		firstSeen := make([]int, c.Size())
@@ -129,7 +129,7 @@ func Fig5(set ConstellationSet, n int, snapshotSec float64) ([]Fig5Result, error
 	var out []Fig5Result
 	for _, c := range consts {
 		obs := visibility.NewObserver(c)
-		snap := c.Snapshot(snapshotSec)
+		snap := engineFor(c).SnapshotAt(snapshotSec)
 		seen := make([]bool, c.Size())
 		obs.MarkVisibleFromAny(grounds, snap, seen)
 		res := Fig5Result{Constellation: c.Name, Cities: locs, Total: c.Size()}

@@ -133,8 +133,10 @@ func Fig67(cfg Fig67Config) (Fig67Result, error) {
 		if err != nil {
 			return err
 		}
-		// Each worker needs its own provider (snapshot buffers are reused).
-		prov := meetup.NewProvider(c)
+		// Workers share the pooled engine: frames one group's session
+		// propagates (steps and Sticky lookahead keyframes alike) are
+		// cache hits for every other group and for the second policy pass.
+		prov := meetup.NewProviderFor(engineFor(c))
 		mm, errM := p.Simulate(prov, meetup.MinMax, 0, cfg.DurationSec, cfg.StepSec)
 		st, errS := p.Simulate(prov, meetup.Sticky, 0, cfg.DurationSec, cfg.StepSec)
 		if errM != nil || errS != nil {

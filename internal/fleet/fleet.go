@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/compute"
 	"repro/internal/constellation"
+	"repro/internal/ephem"
 	"repro/internal/faults"
 	"repro/internal/geo"
 	"repro/internal/isl"
@@ -66,6 +67,12 @@ type Config struct {
 	// after min(RetryBaseSec·2ⁿ⁻¹, RetryCapSec). Defaults: StepSec and
 	// 16·RetryBaseSec.
 	RetryBaseSec, RetryCapSec float64
+	// Ephem is the shared ephemeris engine backing the snapshot ring. Pass
+	// one to share propagated frames with other consumers of the same
+	// constellation; nil builds a private engine sized to the ring (grid
+	// step = StepSec so every ring frame lands in the protected keyframe
+	// tier).
+	Ephem *ephem.Engine
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -183,7 +190,10 @@ type Orchestrator struct {
 	nodes []*compute.Node
 
 	// ring[k] is the constellation snapshot at now + k·step, k in [0, K].
+	// Entries are frames borrowed from the ephemeris engine: shared,
+	// immutable, never written in place.
 	ring [][]geo.Vec3
+	eng  *ephem.Engine
 	k    int
 	now  float64
 
@@ -222,8 +232,22 @@ func New(c *constellation.Constellation, grid *isl.Grid, cfg Config) (*Orchestra
 	if grid == nil {
 		grid = isl.NewPlusGrid(c)
 	}
+	eng := cfg.Ephem
+	if eng == nil {
+		// Private engine: keyframe grid = the epoch grid, protected tier
+		// sized to hold the whole lookahead ring plus advance slack.
+		ringLen := int(math.Round(cfg.LookaheadSec/cfg.StepSec)) + 1
+		eng = ephem.New(c, ephem.Config{
+			Workers:     cfg.Workers,
+			GridStepSec: cfg.StepSec,
+			GridFrames:  ringLen + 2,
+			CacheFrames: ringLen + 2,
+			Registry:    cfg.Registry,
+		})
+	}
 	o := &Orchestrator{
 		c:       c,
+		eng:     eng,
 		obs:     idx.Observer(),
 		grid:    grid,
 		idx:     idx,
@@ -251,6 +275,10 @@ func (o *Orchestrator) Index() *Index { return o.idx }
 
 // Constellation returns the underlying constellation.
 func (o *Orchestrator) Constellation() *constellation.Constellation { return o.c }
+
+// Ephemeris returns the engine backing the snapshot ring (the configured
+// shared engine, or the private one built by New).
+func (o *Orchestrator) Ephemeris() *ephem.Engine { return o.eng }
 
 // Now returns the current simulated time.
 func (o *Orchestrator) Now() float64 { return o.now }
@@ -325,8 +353,7 @@ func (o *Orchestrator) Start(t0 float64) error {
 	}
 	o.ring = make([][]geo.Vec3, o.k+1)
 	for i := range o.ring {
-		o.ring[i] = make([]geo.Vec3, o.c.Size())
-		o.c.SnapshotInto(t0+float64(i)*o.cfg.StepSec, o.ring[i])
+		o.ring[i] = o.eng.SnapshotAt(t0 + float64(i)*o.cfg.StepSec)
 	}
 	o.idx.Rebuild(o.ring[0])
 	if o.cfg.Faults != nil {
@@ -675,13 +702,12 @@ func (o *Orchestrator) Step() (EpochReport, error) {
 		}
 	}
 
-	// Phase D — advance the epoch clock: rotate the ring, propagate the
-	// new horizon snapshot into the recycled buffer, re-bucket the index.
+	// Phase D — advance the epoch clock: rotate the ring, fetch the new
+	// horizon snapshot from the ephemeris engine (every other ring frame
+	// is a cache hit), re-bucket the index.
 	o.now += o.cfg.StepSec
-	oldest := o.ring[0]
 	copy(o.ring, o.ring[1:])
-	o.ring[o.k] = oldest
-	o.c.SnapshotInto(o.now+float64(o.k)*o.cfg.StepSec, o.ring[o.k])
+	o.ring[o.k] = o.eng.SnapshotAt(o.now + float64(o.k)*o.cfg.StepSec)
 	o.idx.Rebuild(o.ring[0])
 
 	rep.Sessions = o.tab.Len()

@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"repro/internal/constellation"
+	"repro/internal/ephem"
 	"repro/internal/geo"
 	"repro/internal/isl"
 	"repro/internal/netgraph"
@@ -97,30 +98,29 @@ type Candidate struct {
 // Provider supplies constellation snapshots by time. It lets many planners
 // share one propagation pass per time step.
 type Provider struct {
-	c    *constellation.Constellation
-	buf  []geo.Vec3
-	t    float64
-	warm bool
+	eng *ephem.Engine
 }
 
-// NewProvider wraps a constellation in a caching snapshot provider.
+// NewProvider wraps a constellation in a caching snapshot provider backed
+// by a private ephemeris engine.
 func NewProvider(c *constellation.Constellation) *Provider {
-	return &Provider{c: c, buf: make([]geo.Vec3, c.Size())}
+	return NewProviderFor(ephem.New(c, ephem.Config{}))
 }
 
-// At returns the ECEF snapshot at tSec. The returned slice is reused by the
-// next call; callers must not retain it.
-func (p *Provider) At(tSec float64) []geo.Vec3 {
-	if !p.warm || p.t != tSec {
-		p.c.SnapshotInto(tSec, p.buf)
-		p.t = tSec
-		p.warm = true
-	}
-	return p.buf
-}
+// NewProviderFor wraps a shared ephemeris engine. Planners on the same
+// engine — across sessions, policies, and goroutines — reuse each other's
+// propagated frames.
+func NewProviderFor(eng *ephem.Engine) *Provider { return &Provider{eng: eng} }
+
+// At returns the ECEF snapshot at tSec. The returned slice is shared and
+// immutable: callers may retain it but must not modify it.
+func (p *Provider) At(tSec float64) []geo.Vec3 { return p.eng.SnapshotAt(tSec) }
+
+// Ephemeris returns the backing engine.
+func (p *Provider) Ephemeris() *ephem.Engine { return p.eng }
 
 // Constellation returns the underlying constellation.
-func (p *Provider) Constellation() *constellation.Constellation { return p.c }
+func (p *Provider) Constellation() *constellation.Constellation { return p.eng.Constellation() }
 
 // Planner evaluates meetup-server choices for one user group against one
 // constellation. Eligibility means direct visibility from every user — the

@@ -138,5 +138,5 @@ func GroupNetwork(p *Provider, users []geo.LatLon, dcSites []geo.LatLon) *netgra
 	grounds := make([]geo.LatLon, 0, len(users)+len(dcSites))
 	grounds = append(grounds, users...)
 	grounds = append(grounds, dcSites...)
-	return netgraph.New(p.Constellation(), grounds)
+	return netgraph.New(p.Constellation(), grounds).UseEphemeris(p.Ephemeris())
 }

@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"repro/internal/constellation"
+	"repro/internal/ephem"
 	"repro/internal/geo"
 	"repro/internal/isl"
 	"repro/internal/units"
@@ -30,6 +31,15 @@ type Network struct {
 	Grounds       []geo.LatLon
 
 	groundECEF []geo.Vec3
+	eng        *ephem.Engine // optional shared ephemeris
+}
+
+// UseEphemeris routes snapshot propagation through a shared ephemeris
+// engine, so network snapshots reuse frames other consumers already
+// propagated. Returns n for chaining.
+func (n *Network) UseEphemeris(eng *ephem.Engine) *Network {
+	n.eng = eng
+	return n
 }
 
 // New assembles a network over the constellation with a +grid ISL topology
@@ -72,8 +82,13 @@ type Snapshot struct {
 	satPos []geo.Vec3
 }
 
-// At builds a snapshot at t seconds after epoch.
+// At builds a snapshot at t seconds after epoch. With an ephemeris engine
+// attached the positions are a shared cached frame (treat SatPositions as
+// immutable); otherwise they are propagated fresh.
 func (n *Network) At(tSec float64) *Snapshot {
+	if n.eng != nil {
+		return &Snapshot{net: n, tSec: tSec, satPos: n.eng.SnapshotAt(tSec)}
+	}
 	return &Snapshot{net: n, tSec: tSec, satPos: n.Constellation.Snapshot(tSec)}
 }
 

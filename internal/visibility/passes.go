@@ -124,7 +124,7 @@ func (o *Observer) NextPassAny(ground geo.Vec3, t0, horizonSec, coarseStepSec fl
 	}
 	snap := make([]geo.Vec3, o.c.Size())
 	anyVis := func(t float64) (int, bool) {
-		o.c.SnapshotInto(t, snap)
+		o.snapshotInto(t, snap)
 		for id, pos := range snap {
 			if o.Visible(ground, id, pos) {
 				return id, true

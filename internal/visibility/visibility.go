@@ -9,6 +9,7 @@ import (
 	"math"
 
 	"repro/internal/constellation"
+	"repro/internal/ephem"
 	"repro/internal/geo"
 	"repro/internal/units"
 )
@@ -79,6 +80,26 @@ type Observer struct {
 	// constraint is equivalent to a maximum slant range for a fixed shell
 	// altitude and ground points on the surface.
 	maxChord2 []float64
+	eng       *ephem.Engine // optional shared ephemeris for snapshot sweeps
+}
+
+// UseEphemeris routes the observer's own snapshot sweeps (NextPassAny)
+// through a shared ephemeris engine so they reuse — and parallelise —
+// frame propagation. Returns o for chaining.
+func (o *Observer) UseEphemeris(eng *ephem.Engine) *Observer {
+	o.eng = eng
+	return o
+}
+
+// snapshotInto fills dst with the constellation at t, through the shared
+// engine when one is attached.
+func (o *Observer) snapshotInto(t float64, dst []geo.Vec3) {
+	if o.eng != nil {
+		if err := o.eng.SnapshotInto(t, dst); err == nil {
+			return
+		}
+	}
+	o.c.SnapshotInto(t, dst)
 }
 
 // NewObserver builds an Observer for the constellation using each shell's

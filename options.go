@@ -1,0 +1,165 @@
+package inorbit
+
+import (
+	"repro/internal/compute"
+	"repro/internal/core"
+	"repro/internal/ephem"
+	"repro/internal/faults"
+	"repro/internal/fleet"
+	"repro/internal/meetup"
+	"repro/internal/obs"
+)
+
+// Option configures a Service at construction:
+//
+//	svc, err := inorbit.New(inorbit.Starlink,
+//	        inorbit.WithStepSec(1),
+//	        inorbit.WithFaults(inorbit.FaultConfig{Seed: 7, SatMTBFSec: 6 * 3600}),
+//	        inorbit.WithEphemCache(128))
+//
+// Options apply in order; later options win on conflict. The legacy
+// Options struct also satisfies Option, so pre-redesign call sites keep
+// compiling unchanged.
+type Option interface {
+	apply(*settings)
+}
+
+// settings is the merged result of applying every Option.
+type settings struct {
+	core   core.Options
+	fleet  fleet.Config
+	faults *faults.Config
+}
+
+// funcOption adapts a closure to the Option interface.
+type funcOption func(*settings)
+
+func (f funcOption) apply(s *settings) { f(s) }
+
+// WithServer sets the per-satellite compute payload (default: the paper's
+// HPE DL325 reference). It applies to both edge views and fleet capacity.
+func WithServer(spec compute.ServerSpec) Option {
+	return funcOption(func(s *settings) {
+		s.core.Server = spec
+		s.fleet.Server = spec
+	})
+}
+
+// WithMeetup sets the meetup selection parameters (Sticky band, pool,
+// lookahead; default: the paper's §5 values).
+func WithMeetup(cfg meetup.Config) Option {
+	return funcOption(func(s *settings) { s.core.Meetup = cfg })
+}
+
+// WithISLBandwidth sets the inter-satellite link rate in Gb/s used for
+// state migration (default: the laser-terminal class rate).
+func WithISLBandwidth(gbps float64) Option {
+	return funcOption(func(s *settings) {
+		s.core.ISLBandwidthGbps = gbps
+		s.fleet.ISLBandwidthGbps = gbps
+	})
+}
+
+// WithStepSec sets the fleet epoch length in simulated seconds
+// (default 60). Shorter steps detect hand-off pressure sooner at
+// proportionally more planner work.
+func WithStepSec(sec float64) Option {
+	return funcOption(func(s *settings) { s.fleet.StepSec = sec })
+}
+
+// WithFleet overrides the full fleet orchestrator configuration for
+// Service.Fleet. Finer-grained options (WithStepSec, WithFaults,
+// WithWorkers) applied after it still take effect.
+func WithFleet(cfg FleetConfig) Option {
+	return funcOption(func(s *settings) { s.fleet = fleet.Config(cfg) })
+}
+
+// WithFaults arms the deterministic chaos layer: Service.Faults builds
+// injectors from this configuration and Service.Fleet wires one into the
+// orchestrator automatically.
+func WithFaults(cfg FaultConfig) Option {
+	return funcOption(func(s *settings) {
+		c := faults.Config(cfg)
+		s.faults = &c
+	})
+}
+
+// WithEphemCache sets how many full-constellation frames the shared
+// ephemeris engine caches per tier (default 64 LRU + 64 protected grid
+// keyframes; one Starlink-scale frame is ~105 KiB). Larger caches let
+// repeated sweeps over the same window replay frames instead of
+// re-propagating.
+func WithEphemCache(frames int) Option {
+	return funcOption(func(s *settings) {
+		s.core.Ephem.CacheFrames = frames
+		s.core.Ephem.GridFrames = frames
+	})
+}
+
+// WithEphemGridSec sets the keyframe grid spacing of the ephemeris engine
+// in seconds (default 60) — the instants pinned in the protected cache
+// tier and the nodes interpolation brackets with.
+func WithEphemGridSec(sec float64) Option {
+	return funcOption(func(s *settings) { s.core.Ephem.GridStepSec = sec })
+}
+
+// WithInterpolation selects the scheme Ephemeris.Interpolated uses between
+// keyframes: HermiteInterp (metre-scale error at the default grid) or
+// LinearInterp (kilometre-scale). Exact propagation paths are unaffected.
+func WithInterpolation(mode InterpMode) Option {
+	return funcOption(func(s *settings) { s.core.Ephem.Interp = mode })
+}
+
+// WithWorkers bounds the parallelism of snapshot propagation and fleet
+// planning (default GOMAXPROCS).
+func WithWorkers(n int) Option {
+	return funcOption(func(s *settings) {
+		s.core.Ephem.Workers = n
+		s.fleet.Workers = n
+	})
+}
+
+// WithRegistry routes ephem_* and fleet_* metric families to a caller
+// registry instead of the process default.
+func WithRegistry(reg *obs.Registry) Option {
+	return funcOption(func(s *settings) {
+		s.core.Ephem.Registry = reg
+		s.fleet.Registry = reg
+	})
+}
+
+// InterpMode selects the Ephemeris.Interpolated scheme.
+type InterpMode = ephem.Mode
+
+// Interpolation schemes for WithInterpolation.
+const (
+	// HermiteInterp is cubic Hermite over position+velocity keyframes.
+	HermiteInterp = ephem.Hermite
+	// LinearInterp is chordal interpolation over position keyframes.
+	LinearInterp = ephem.Linear
+)
+
+// Options is the legacy all-in-one configuration struct.
+//
+// Deprecated: pass functional options to New instead — for example
+// New(Starlink, WithServer(spec), WithISLBandwidth(2.5)). Options still
+// satisfies Option, so existing New(choice, Options{...}) calls keep
+// working; non-zero fields override the accumulated settings.
+type Options core.Options
+
+func (o Options) apply(s *settings) {
+	if o.Server != (compute.ServerSpec{}) {
+		s.core.Server = o.Server
+		s.fleet.Server = o.Server
+	}
+	if o.Meetup != (meetup.Config{}) {
+		s.core.Meetup = o.Meetup
+	}
+	if o.ISLBandwidthGbps != 0 {
+		s.core.ISLBandwidthGbps = o.ISLBandwidthGbps
+		s.fleet.ISLBandwidthGbps = o.ISLBandwidthGbps
+	}
+	if o.Ephem != (ephem.Config{}) {
+		s.core.Ephem = o.Ephem
+	}
+}
