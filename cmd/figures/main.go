@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/netgraph"
 	"repro/internal/obs"
 	"repro/internal/plot"
 	"repro/internal/power"
@@ -50,6 +51,7 @@ func main() {
 		fatal(err)
 	}
 	r := runner{out: *out, fast: *fast, tracer: obs.NewTracer(nil)}
+	netgraph.SetTracer(r.tracer) // snapshot-freeze spans join the run trace
 
 	jobs := map[string]func() error{
 		"1":           r.fig1,
@@ -99,6 +101,14 @@ func main() {
 	if total := es.Hits + es.Misses; total > 0 {
 		fmt.Fprintf(os.Stderr, "ephem cache: %d hits / %d misses (%.1f%% hit rate, %d satellite propagations)\n",
 			es.Hits, es.Misses, 100*float64(es.Hits)/float64(total), es.PropagatedSats)
+	}
+	ns := netgraph.TotalStats()
+	info.NetgraphFreezes = ns.Freezes
+	info.NetgraphFrozenEdges = ns.FrozenEdges
+	info.NetgraphQueries = ns.Queries()
+	if ns.Freezes > 0 {
+		fmt.Fprintf(os.Stderr, "netgraph: %d snapshot freezes (%d edges), %d routing queries (%d path / %d sssp / %d isl)\n",
+			ns.Freezes, ns.FrozenEdges, ns.Queries(), ns.PathQueries, ns.SSSPQueries, ns.ISLQueries)
 	}
 
 	printTimingTable(info)

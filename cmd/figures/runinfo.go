@@ -38,6 +38,13 @@ type runInfo struct {
 	// requests were served from cached frames vs propagated fresh.
 	EphemCacheHits   uint64 `json:"ephem_cache_hits"`
 	EphemCacheMisses uint64 `json:"ephem_cache_misses"`
+
+	// Frozen-graph routing activity: topology freezes (one per queried
+	// snapshot), their summed directed edge counts, and routing queries
+	// served from frozen CSR adjacency.
+	NetgraphFreezes     uint64 `json:"netgraph_freezes"`
+	NetgraphFrozenEdges uint64 `json:"netgraph_frozen_edges"`
+	NetgraphQueries     uint64 `json:"netgraph_queries"`
 }
 
 func newRunInfo(fast bool) runInfo {

@@ -36,6 +36,7 @@ import (
 	"repro/internal/ephem"
 	"repro/internal/faults"
 	"repro/internal/fleet"
+	"repro/internal/netgraph"
 	"repro/internal/obs"
 	"repro/internal/plot"
 	"repro/internal/stats"
@@ -400,6 +401,7 @@ func report(out io.Writer, orch *fleet.Orchestrator, in reportInputs) error {
 		{"core utilisation", fmt.Sprintf("mean %.1f%%, p50 %.1f%%, p90 %.1f%%, max %.1f%%",
 			100*mean(orch.Utilization()), 100*util.Quantile(0.50), 100*util.Quantile(0.90), 100*util.Max())},
 		{"ephemeris cache", ephemLine(orch.Ephemeris().Stats())},
+		{"frozen-graph routing", netgraphLine(netgraph.TotalStats())},
 	}
 	if err := plot.Table(out, nil, rows); err != nil {
 		return err
@@ -434,6 +436,17 @@ func ephemLine(s ephem.Stats) string {
 	}
 	return fmt.Sprintf("%d hits / %d misses (%.1f%% hit rate, %d sat propagations)",
 		s.Hits, s.Misses, 100*float64(s.Hits)/float64(total), s.PropagatedSats)
+}
+
+// netgraphLine formats the frozen-graph routing activity. The fleet's
+// hand-off planner routes over the static ISL grid, so a standalone run
+// shows ISL queries with no snapshot freezes.
+func netgraphLine(s netgraph.Stats) string {
+	if s.Queries() == 0 && s.Freezes == 0 {
+		return "unused"
+	}
+	return fmt.Sprintf("%d queries (%d path / %d sssp / %d isl), %d snapshot freezes",
+		s.Queries(), s.PathQueries, s.SSSPQueries, s.ISLQueries, s.Freezes)
 }
 
 func mean(xs []float64) float64 {

@@ -7,6 +7,7 @@ import (
 	"repro/internal/dcs"
 	"repro/internal/geo"
 	"repro/internal/meetup"
+	"repro/internal/netgraph"
 	"repro/internal/trace"
 )
 
@@ -134,6 +135,10 @@ func Fig3(sc Fig3Scenario, cfg Fig3Config) (Fig3Result, error) {
 
 	res := Fig3Result{Scenario: sc}
 	perDCWorst := make([]float64, len(sites))
+	userNodes := make([]netgraph.NodeID, len(sc.Users))
+	for u := range userNodes {
+		userNodes[u] = net.GroundNode(u)
+	}
 	for t := 0.0; t <= cfg.DurationSec; t += cfg.SampleEverySec {
 		snap := net.At(t)
 		// In-orbit: best routed placement at this instant; paper quotes the
@@ -146,16 +151,15 @@ func Fig3(sc Fig3Scenario, cfg Fig3Config) (Fig3Result, error) {
 
 		// Terrestrial: track each DC's worst-over-time group RTT; the best
 		// DC is chosen after the window (a meetup server cannot hop between
-		// data centers mid-session).
+		// data centers mid-session). One SSSP per user prices that user
+		// against every data centre at once (2*dist is exactly what
+		// GroundToGroundRTTMs returned per pair; +Inf where disconnected).
+		perUserDist := snap.AllSourcesNodeLatencies(userNodes)
 		for d := range sites {
+			dcNode := net.GroundNode(len(sc.Users) + d)
 			worstUser := 0.0
 			for u := range sc.Users {
-				rtt, err := snap.GroundToGroundRTTMs(u, len(sc.Users)+d)
-				if err != nil {
-					worstUser = math.Inf(1)
-					break
-				}
-				worstUser = math.Max(worstUser, rtt)
+				worstUser = math.Max(worstUser, 2*perUserDist[u][dcNode])
 			}
 			perDCWorst[d] = math.Max(perDCWorst[d], worstUser)
 		}

@@ -1,0 +1,75 @@
+package meetup
+
+// BestRouted benchmark feeding BENCH_netgraph.json: repeated same-snapshot
+// group placement on the Starlink preset, timing the parallel multi-source
+// fan-out against a serial per-user loop internally so CI's -benchtime 1x
+// run still reports the speedup.
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/constellation"
+	"repro/internal/geo"
+)
+
+// BenchmarkBestRouted places a six-user transcontinental group on a warm
+// frozen snapshot. serial-ns/op re-runs the same placement with sequential
+// per-user SSSPs; parallel-speedup-x is what AllSourcesLatencies buys.
+func BenchmarkBestRouted(b *testing.B) {
+	c, err := constellation.StarlinkPhase1(constellation.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	users := []geo.LatLon{
+		{LatDeg: 40.71, LonDeg: -74.01},  // New York
+		{LatDeg: 51.51, LonDeg: -0.13},   // London
+		{LatDeg: -33.92, LonDeg: 18.42},  // Cape Town
+		{LatDeg: 35.68, LonDeg: 139.69},  // Tokyo
+		{LatDeg: -23.55, LonDeg: -46.63}, // São Paulo
+		{LatDeg: 28.61, LonDeg: 77.21},   // Delhi
+	}
+	net := GroupNetwork(NewProvider(c), users, nil)
+	snap := net.At(0)
+	snap.Freeze()
+	if _, err := BestRouted(snap, len(users)); err != nil { // warm the context pool
+		b.Fatal(err)
+	}
+	var parNs, serialNs int64
+	var parSum, serialSum float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		placed, err := BestRouted(snap, len(users))
+		parNs += time.Since(start).Nanoseconds()
+		if err != nil {
+			b.Fatal(err)
+		}
+		parSum += placed.GroupRTTMs
+
+		// Serial reference: the pre-parallel per-user loop.
+		start = time.Now()
+		worstBest := math.Inf(1)
+		perUser := make([][]float64, len(users))
+		for u := range users {
+			perUser[u] = snap.LatencyToAllSats(u)
+		}
+		for id := range perUser[0] {
+			worst := 0.0
+			for u := range users {
+				worst = math.Max(worst, 2*perUser[u][id])
+			}
+			worstBest = math.Min(worstBest, worst)
+		}
+		serialNs += time.Since(start).Nanoseconds()
+		serialSum += worstBest
+	}
+	b.StopTimer()
+	if parSum != serialSum {
+		b.Fatalf("parallel/serial placement diverged: %.17g vs %.17g", parSum, serialSum)
+	}
+	b.ReportMetric(float64(parNs)/float64(b.N), "parallel-ns/op")
+	b.ReportMetric(float64(serialNs)/float64(b.N), "serial-ns/op")
+	b.ReportMetric(float64(serialNs)/float64(parNs), "parallel-speedup-x")
+}

@@ -42,11 +42,13 @@ func BestRouted(s *netgraph.Snapshot, users int) (RoutedPlacement, error) {
 	if users <= 0 {
 		return RoutedPlacement{}, fmt.Errorf("meetup: users must be positive")
 	}
-	// One Dijkstra per user gives latency to every satellite.
-	perUser := make([][]float64, users)
-	for u := 0; u < users; u++ {
-		perUser[u] = s.LatencyToAllSats(u)
+	// One Dijkstra per user gives latency to every satellite; the sources
+	// fan out across GOMAXPROCS over the shared frozen snapshot.
+	gis := make([]int, users)
+	for u := range gis {
+		gis[u] = u
 	}
+	perUser := s.AllSourcesLatencies(gis)
 	sats := len(perUser[0])
 	best := RoutedPlacement{SatID: -1, GroupRTTMs: math.Inf(1)}
 	for id := 0; id < sats; id++ {

@@ -76,6 +76,20 @@ func TestBestRoutedOptimality(t *testing.T) {
 	}
 }
 
+func TestSpreadMsEdgeCases(t *testing.T) {
+	// A zero-user placement (e.g. a zero value carried through an error
+	// path) and a single-user placement both have zero spread by definition.
+	if got := (RoutedPlacement{}).SpreadMs(); got != 0 {
+		t.Fatalf("zero-user spread = %v", got)
+	}
+	if got := (RoutedPlacement{PerUserRTTMs: []float64{12.5}}).SpreadMs(); got != 0 {
+		t.Fatalf("one-user spread = %v", got)
+	}
+	if got := (RoutedPlacement{PerUserRTTMs: []float64{12.5, 10, 14}}).SpreadMs(); got != 4 {
+		t.Fatalf("spread = %v, want 4", got)
+	}
+}
+
 func TestBestRoutedValidation(t *testing.T) {
 	users := []geo.LatLon{{LatDeg: 0, LonDeg: 0}}
 	net := routedNet(t, users, nil)

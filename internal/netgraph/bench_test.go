@@ -1,0 +1,223 @@
+package netgraph
+
+// Frozen-vs-legacy routing benchmarks feeding BENCH_netgraph.json. Each
+// benchmark times both implementations internally (time.Now deltas) and
+// reports the ratio via b.ReportMetric, so CI's -benchtime 1x smoke run
+// still yields meaningful speedup and allocation metrics.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/constellation"
+	"repro/internal/geo"
+)
+
+// benchCities are the queried sources; the full ground set adds a world
+// grid of passive stations so the graph has a realistic ground segment
+// (real LEO operators run hundreds of gateway sites) where the legacy
+// per-expansion visibility rescan actually bites.
+var benchCities = []geo.LatLon{
+	{LatDeg: 40.71, LonDeg: -74.01},  // New York
+	{LatDeg: 51.51, LonDeg: -0.13},   // London
+	{LatDeg: -33.92, LonDeg: 18.42},  // Cape Town
+	{LatDeg: 35.68, LonDeg: 139.69},  // Tokyo
+	{LatDeg: -23.55, LonDeg: -46.63}, // São Paulo
+}
+
+func benchGrounds() []geo.LatLon {
+	grounds := append([]geo.LatLon(nil), benchCities...)
+	for lat := -60.0; lat <= 60; lat += 15 {
+		for lon := -180.0; lon < 180; lon += 15 {
+			grounds = append(grounds, geo.LatLon{LatDeg: lat, LonDeg: lon})
+		}
+	}
+	return grounds
+}
+
+func benchSnapshot(b *testing.B) (*Network, *Snapshot) {
+	b.Helper()
+	c, err := constellation.StarlinkPhase1(constellation.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := New(c, benchGrounds())
+	s := n.At(0)
+	s.Freeze() // steady-state comparison: the one-time freeze is timed separately
+	return n, s
+}
+
+// BenchmarkShortestPath compares warm frozen-graph point-to-point queries
+// against the legacy closure-driven Dijkstra on the Starlink preset.
+func BenchmarkShortestPath(b *testing.B) {
+	n, s := benchSnapshot(b)
+	const reps = 4
+	var frozenNs, legacyNs int64
+	var frozenSum, legacySum float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			for gi := 1; gi < len(benchCities); gi++ {
+				p, err := s.ShortestPath(n.GroundNode(0), n.GroundNode(gi))
+				if err != nil {
+					b.Fatal(err)
+				}
+				frozenSum += p.OneWayMs
+			}
+		}
+		frozenNs += time.Since(start).Nanoseconds()
+		start = time.Now()
+		for r := 0; r < reps; r++ {
+			for gi := 1; gi < len(benchCities); gi++ {
+				p, err := s.legacyShortestPath(n.GroundNode(0), n.GroundNode(gi))
+				if err != nil {
+					b.Fatal(err)
+				}
+				legacySum += p.OneWayMs
+			}
+		}
+		legacyNs += time.Since(start).Nanoseconds()
+	}
+	b.StopTimer()
+	if frozenSum != legacySum {
+		b.Fatalf("frozen/legacy latency sums diverged: %.17g vs %.17g", frozenSum, legacySum)
+	}
+	queries := float64(b.N * reps * (len(benchCities) - 1))
+	b.ReportMetric(float64(frozenNs)/queries, "frozen-ns/op")
+	b.ReportMetric(float64(legacyNs)/queries, "legacy-ns/op")
+	b.ReportMetric(float64(legacyNs)/float64(frozenNs), "frozen-speedup-x")
+}
+
+// BenchmarkLatencyToAllSats compares warm frozen SSSP against the legacy
+// per-call-allocating pass, and reports the steady-state allocations of the
+// pooled Into path (must stay at zero).
+func BenchmarkLatencyToAllSats(b *testing.B) {
+	_, s := benchSnapshot(b)
+	buf := make([]float64, 0, s.net.Sats())
+	const reps = 2
+	var frozenNs, legacyNs int64
+	var frozenSum, legacySum float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			for gi := range benchCities {
+				out := s.LatencyToAllSatsInto(gi, buf)
+				frozenSum += out[0] + out[len(out)-1]
+			}
+		}
+		frozenNs += time.Since(start).Nanoseconds()
+		start = time.Now()
+		for r := 0; r < reps; r++ {
+			for gi := range benchCities {
+				out := s.legacyLatencyToAllSats(gi)
+				legacySum += out[0] + out[len(out)-1]
+			}
+		}
+		legacyNs += time.Since(start).Nanoseconds()
+	}
+	b.StopTimer()
+	if frozenSum != legacySum {
+		b.Fatalf("frozen/legacy SSSP sums diverged: %.17g vs %.17g", frozenSum, legacySum)
+	}
+	queries := float64(b.N * reps * len(benchCities))
+	b.ReportMetric(float64(frozenNs)/queries, "frozen-ns/op")
+	b.ReportMetric(float64(legacyNs)/queries, "legacy-ns/op")
+	b.ReportMetric(float64(legacyNs)/float64(frozenNs), "frozen-speedup-x")
+	allocs := testing.AllocsPerRun(20, func() { s.LatencyToAllSatsInto(0, buf) })
+	b.ReportMetric(allocs, "steady-allocs/op")
+}
+
+// BenchmarkAllSourcesLatencies compares the GOMAXPROCS fan-out against the
+// serial per-source loop over the same warm snapshot.
+func BenchmarkAllSourcesLatencies(b *testing.B) {
+	_, s := benchSnapshot(b)
+	gis := make([]int, len(benchCities))
+	for i := range gis {
+		gis[i] = i
+	}
+	var parNs, serialNs int64
+	var parSum, serialSum float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		rows := s.AllSourcesLatencies(gis)
+		parNs += time.Since(start).Nanoseconds()
+		for _, r := range rows {
+			parSum += r[0]
+		}
+		start = time.Now()
+		for _, gi := range gis {
+			out := s.LatencyToAllSats(gi)
+			serialSum += out[0]
+		}
+		serialNs += time.Since(start).Nanoseconds()
+	}
+	b.StopTimer()
+	if parSum != serialSum {
+		b.Fatalf("parallel/serial sums diverged: %.17g vs %.17g", parSum, serialSum)
+	}
+	b.ReportMetric(float64(parNs)/float64(b.N), "parallel-ns/op")
+	b.ReportMetric(float64(serialNs)/float64(b.N), "serial-ns/op")
+	b.ReportMetric(float64(serialNs)/float64(parNs), "parallel-speedup-x")
+}
+
+// BenchmarkISLShortest compares the pooled static-CSR ISL query against the
+// legacy hand-rolled grid Dijkstra.
+func BenchmarkISLShortest(b *testing.B) {
+	n, s := benchSnapshot(b)
+	// Pairs within the first shell: the +grid has no cross-shell links, so
+	// cross-shell pairs would be ErrNoPath.
+	shell0 := n.Constellation.Shells[0].Planes * n.Constellation.Shells[0].SatsPerPlane
+	pairs := [][2]int{{0, shell0 - 1}, {1, shell0 / 2}, {shell0 / 3, 2 * shell0 / 3}}
+	var frozenNs, legacyNs int64
+	var frozenSum, legacySum float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		for _, pr := range pairs {
+			p, err := ISLShortest(n.Grid, s.SatPositions(), pr[0], pr[1])
+			if err != nil {
+				b.Fatal(err)
+			}
+			frozenSum += p.OneWayMs
+		}
+		frozenNs += time.Since(start).Nanoseconds()
+		start = time.Now()
+		for _, pr := range pairs {
+			p, err := legacyISLShortest(n.Grid, s.SatPositions(), pr[0], pr[1])
+			if err != nil {
+				b.Fatal(err)
+			}
+			legacySum += p.OneWayMs
+		}
+		legacyNs += time.Since(start).Nanoseconds()
+	}
+	b.StopTimer()
+	if frozenSum != legacySum {
+		b.Fatalf("frozen/legacy ISL sums diverged: %.17g vs %.17g", frozenSum, legacySum)
+	}
+	queries := float64(b.N * len(pairs))
+	b.ReportMetric(float64(frozenNs)/queries, "frozen-ns/op")
+	b.ReportMetric(float64(legacyNs)/queries, "legacy-ns/op")
+	b.ReportMetric(float64(legacyNs)/float64(frozenNs), "frozen-speedup-x")
+}
+
+// BenchmarkSnapshotFreeze times the one-time per-snapshot CSR build that
+// every later query amortises.
+func BenchmarkSnapshotFreeze(b *testing.B) {
+	c, err := constellation.StarlinkPhase1(constellation.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := New(c, benchGrounds())
+	snaps := make([]*Snapshot, b.N)
+	for i := range snaps {
+		snaps[i] = n.At(0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snaps[i].Freeze()
+	}
+}

@@ -1,0 +1,138 @@
+package netgraph
+
+// Freezing a snapshot turns the time-varying topology into flat CSR arrays
+// once, so every subsequent query is tight loops over int32/float64 slices
+// instead of closure-driven visibility rescans:
+//
+//   - ISL edges come from the static +grid with weights evaluated at the
+//     snapshot's satellite positions;
+//   - ground↔satellite edges are discovered by one visibility scan per
+//     ground station — the scan the legacy edgeIter repeated on every node
+//     expansion — with each uplink weight computed once and shared bitwise
+//     with the matching downlink (Vec3.Distance is exactly symmetric).
+//
+// Row layout reproduces the legacy edge-iteration order exactly, which pins
+// tie-breaking: a satellite's row is its +grid neighbours (grid order)
+// followed by visible ground stations ascending; a ground row is its
+// visible satellites ascending.
+
+import (
+	"time"
+
+	"repro/internal/units"
+)
+
+// frozen is the per-snapshot CSR adjacency shared by all queries.
+type frozen struct {
+	sats  int
+	nodes int
+	g     csr
+}
+
+// frozen returns the snapshot's CSR, building it on first use. Safe for
+// concurrent callers; the build runs at most once per snapshot.
+func (s *Snapshot) frozen() *frozen {
+	s.frzOnce.Do(func() {
+		m := s.net.metrics()
+		start := time.Now()
+		var sp spanEnder
+		if tr := tracer(); tr != nil {
+			span := tr.Start("netgraph.freeze")
+			sp = span
+		}
+		s.frz = buildFrozen(s)
+		if sp != nil {
+			sp.End()
+		}
+		sec := time.Since(start).Seconds()
+		m.freezes.Inc()
+		m.freezeSec.Observe(sec)
+		m.frozenEdges.Set(float64(len(s.frz.g.adj)))
+		totalFreezes.Add(1)
+		totalFrozenEdges.Add(uint64(len(s.frz.g.adj)))
+	})
+	return s.frz
+}
+
+// spanEnder is the slice of obs.Span the freeze path needs.
+type spanEnder interface{ End() float64 }
+
+func buildFrozen(s *Snapshot) *frozen {
+	net := s.net
+	sats := net.Sats()
+	nodes := net.Nodes()
+	grounds := net.groundECEF
+	obsv := net.Observer
+	satPos := s.satPos
+	grid := net.Grid
+
+	// One visibility scan per ground station — the edges legacy edgeIter
+	// re-derived per expansion. visSat rows are ascending by satellite ID.
+	visSat := make([][]int32, len(grounds))
+	visW := make([][]float64, len(grounds))
+	downDeg := make([]int32, sats)
+	groundEdges := 0
+	for gi, g := range grounds {
+		var ids []int32
+		var ws []float64
+		for id, pos := range satPos {
+			if obsv.Visible(g, id, pos) {
+				ids = append(ids, int32(id))
+				ws = append(ws, units.PropagationDelayMs(g.Distance(pos)))
+				downDeg[id]++
+			}
+		}
+		visSat[gi], visW[gi] = ids, ws
+		groundEdges += len(ids)
+	}
+
+	f := &frozen{sats: sats, nodes: nodes}
+	off := make([]int32, nodes+1)
+	for u := 0; u < sats; u++ {
+		off[u+1] = off[u] + int32(len(grid.Neighbors(u))) + downDeg[u]
+	}
+	for gi := range grounds {
+		off[sats+gi+1] = off[sats+gi] + int32(len(visSat[gi]))
+	}
+	edges := int(off[nodes])
+	adj := make([]int32, edges)
+	w := make([]float64, edges)
+
+	// Satellite rows, part 1: +grid ISLs in Grid.Neighbors order.
+	cursor := make([]int32, sats)
+	for u := 0; u < sats; u++ {
+		k := off[u]
+		pu := satPos[u]
+		for _, nb := range grid.Neighbors(u) {
+			adj[k] = int32(nb)
+			w[k] = units.PropagationDelayMs(pu.Distance(satPos[nb]))
+			k++
+		}
+		cursor[u] = k
+	}
+	// Satellite rows, part 2 (downlinks, ascending ground index) and ground
+	// rows (uplinks, ascending satellite ID) in one pass. The downlink
+	// weight reuses the uplink value: Distance(a,b) == Distance(b,a) bitwise.
+	for gi := range grounds {
+		base := off[sats+gi]
+		for i, sat := range visSat[gi] {
+			uw := visW[gi][i]
+			adj[base+int32(i)] = sat
+			w[base+int32(i)] = uw
+			k := cursor[sat]
+			adj[k] = int32(sats + gi)
+			w[k] = uw
+			cursor[sat] = k + 1
+		}
+	}
+
+	f.g = csr{off: off, adj: adj, w: w}
+	return f
+}
+
+// groundRow returns the frozen uplink row of ground station gi: visible
+// satellite IDs ascending and their one-way weights.
+func (f *frozen) groundRow(gi int) (adj []int32, w []float64) {
+	lo, hi := f.g.off[f.sats+gi], f.g.off[f.sats+gi+1]
+	return f.g.adj[lo:hi], f.g.w[lo:hi]
+}

@@ -3,12 +3,20 @@
 // to every satellite they can currently see. Edge weights are one-way
 // propagation delays in milliseconds, matching the paper's
 // propagation-only latency accounting.
+//
+// Routing runs on a frozen-graph engine: each Snapshot freezes its topology
+// into CSR adjacency once (frozen.go), queries share a pooled Dijkstra core
+// with an index-addressed 4-ary heap (query.go), and multi-source fan-outs
+// parallelise across GOMAXPROCS (parallel.go). The public entry points here
+// are thin wrappers that return results bit-identical to the pre-freeze
+// implementations kept in legacy.go.
 package netgraph
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
+	"sync"
+	"time"
 
 	"repro/internal/constellation"
 	"repro/internal/ephem"
@@ -32,6 +40,7 @@ type Network struct {
 
 	groundECEF []geo.Vec3
 	eng        *ephem.Engine // optional shared ephemeris
+	m          *metricsSet   // optional registry override (UseObs)
 }
 
 // UseEphemeris routes snapshot propagation through a shared ephemeris
@@ -74,12 +83,16 @@ func (n *Network) GroundNode(i int) NodeID { return NodeID(n.Sats() + i) }
 func (n *Network) IsSat(id NodeID) bool { return int(id) < n.Sats() }
 
 // Snapshot freezes the network at one instant; all routing queries run
-// against a snapshot.
+// against a snapshot. The first query (or an explicit Freeze) builds the
+// CSR adjacency every later query reuses, so a Snapshot must not be copied.
 type Snapshot struct {
 	net  *Network
 	tSec float64
 	// satPos[id] is the ECEF position of satellite id.
 	satPos []geo.Vec3
+
+	frzOnce sync.Once
+	frz     *frozen
 }
 
 // At builds a snapshot at t seconds after epoch. With an ephemeris engine
@@ -106,46 +119,36 @@ func (s *Snapshot) Position(id NodeID) geo.Vec3 {
 	return s.net.groundECEF[int(id)-s.net.Sats()]
 }
 
+// Freeze builds the snapshot's CSR adjacency eagerly (it is otherwise built
+// on first query). Useful to move the one-time cost off a latency-sensitive
+// path, or before timing queries in isolation.
+func (s *Snapshot) Freeze() { s.frozen() }
+
 // VisibleSats returns the satellite IDs currently reachable from ground
-// station gi.
+// station gi, ascending. Served from the frozen CSR ground row — one
+// visibility scan per snapshot instead of one per call.
 func (s *Snapshot) VisibleSats(gi int) []int {
-	var out []int
-	g := s.net.groundECEF[gi]
-	for id, pos := range s.satPos {
-		if s.net.Observer.Visible(g, id, pos) {
-			out = append(out, id)
-		}
+	adj, _ := s.frozen().groundRow(gi)
+	if len(adj) == 0 {
+		return nil
+	}
+	out := make([]int, len(adj))
+	for i, v := range adj {
+		out[i] = int(v)
 	}
 	return out
 }
 
-// edgeIter calls fn(neighbour, oneWayMs) for every edge leaving node id.
-func (s *Snapshot) edgeIter(id NodeID, fn func(NodeID, float64)) {
-	sats := s.net.Sats()
-	if s.net.IsSat(id) {
-		sat := int(id)
-		for _, nb := range s.net.Grid.Neighbors(sat) {
-			fn(NodeID(nb), units.PropagationDelayMs(s.satPos[sat].Distance(s.satPos[nb])))
-		}
-		// Downlinks to every ground station that can see this satellite.
-		for gi, g := range s.net.groundECEF {
-			if s.net.Observer.Visible(g, sat, s.satPos[sat]) {
-				fn(NodeID(sats+gi), units.PropagationDelayMs(g.Distance(s.satPos[sat])))
-			}
-		}
-		return
-	}
-	gi := int(id) - sats
-	g := s.net.groundECEF[gi]
-	for satID, pos := range s.satPos {
-		if s.net.Observer.Visible(g, satID, pos) {
-			fn(NodeID(satID), units.PropagationDelayMs(g.Distance(pos)))
-		}
-	}
-}
-
 // ErrNoPath is returned when two nodes are not connected at the snapshot.
 var ErrNoPath = fmt.Errorf("netgraph: no path")
+
+func errOutOfRange(src, dst NodeID, nodes int) error {
+	return fmt.Errorf("netgraph: node out of range (src=%d dst=%d nodes=%d)", src, dst, nodes)
+}
+
+func errSatOutOfRange(a, b, sats int) error {
+	return fmt.Errorf("netgraph: satellite out of range (a=%d b=%d sats=%d)", a, b, sats)
+}
 
 // Path is a routed path with its one-way latency.
 type Path struct {
@@ -166,71 +169,34 @@ func (p Path) Hops() int {
 	return len(p.Nodes) - 1
 }
 
-type pqItem struct {
-	node NodeID
-	dist float64
-}
-
-type pq []pqItem
-
-func (q pq) Len() int           { return len(q) }
-func (q pq) Less(i, j int) bool { return q[i].dist < q[j].dist }
-func (q pq) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x any)        { *q = append(*q, x.(pqItem)) }
-func (q *pq) Pop() any          { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
-
-// ShortestPath runs Dijkstra from src to dst over the snapshot and returns
-// the minimum-propagation-delay path.
+// ShortestPath runs Dijkstra from src to dst over the snapshot's frozen
+// graph and returns the minimum-propagation-delay path.
 func (s *Snapshot) ShortestPath(src, dst NodeID) (Path, error) {
 	nNodes := s.net.Nodes()
 	if int(src) < 0 || int(src) >= nNodes || int(dst) < 0 || int(dst) >= nNodes {
-		return Path{}, fmt.Errorf("netgraph: node out of range (src=%d dst=%d nodes=%d)", src, dst, nNodes)
+		return Path{}, errOutOfRange(src, dst, nNodes)
 	}
 	if src == dst {
 		return Path{Nodes: []NodeID{src}}, nil
 	}
-	dist := make([]float64, nNodes)
-	prev := make([]NodeID, nNodes)
-	done := make([]bool, nNodes)
-	for i := range dist {
-		dist[i] = math.Inf(1)
-		prev[i] = -1
+	m := s.net.metrics()
+	start := time.Now()
+	f := s.frozen()
+	c := getCtx(f.nodes)
+	c.dijkstra(f.g, int32(src), int32(dst))
+	d := c.distAt(int32(dst))
+	var p Path
+	if !math.IsInf(d, 1) {
+		p = Path{Nodes: c.pathTo(int32(dst)), OneWayMs: d}
 	}
-	dist[src] = 0
-	q := &pq{{node: src}}
-	for q.Len() > 0 {
-		it := heap.Pop(q).(pqItem)
-		if done[it.node] {
-			continue
-		}
-		done[it.node] = true
-		if it.node == dst {
-			break
-		}
-		s.edgeIter(it.node, func(nb NodeID, w float64) {
-			if done[nb] {
-				return
-			}
-			if nd := it.dist + w; nd < dist[nb] {
-				dist[nb] = nd
-				prev[nb] = it.node
-				heap.Push(q, pqItem{node: nb, dist: nd})
-			}
-		})
-	}
-	if math.IsInf(dist[dst], 1) {
+	putCtx(c)
+	m.pathQueries.Inc()
+	m.pathSec.Observe(time.Since(start).Seconds())
+	totalPathQueries.Add(1)
+	if math.IsInf(d, 1) {
 		return Path{}, ErrNoPath
 	}
-	// Reconstruct.
-	var rev []NodeID
-	for at := dst; at != -1; at = prev[at] {
-		rev = append(rev, at)
-	}
-	nodes := make([]NodeID, len(rev))
-	for i := range rev {
-		nodes[i] = rev[len(rev)-1-i]
-	}
-	return Path{Nodes: nodes, OneWayMs: dist[dst]}, nil
+	return p, nil
 }
 
 // SatToSatLatencyMs returns the one-way latency between two satellites over
@@ -248,60 +214,68 @@ func (s *Snapshot) ISLPath(a, b int) (Path, error) {
 	return ISLShortest(s.net.Grid, s.satPos, a, b)
 }
 
+// islCSR is the static topology of one +grid, frozen once per Grid: the
+// adjacency never changes, only the positions (and so the weights) do, so
+// queries run the on-the-fly-weight branch of the shared Dijkstra core.
+type islCSR struct {
+	off []int32
+	adj []int32
+}
+
+var islCSRCache sync.Map // *isl.Grid -> islCSR
+
+func islGraph(g *isl.Grid, sats int) islCSR {
+	if v, ok := islCSRCache.Load(g); ok {
+		if ic := v.(islCSR); len(ic.off) == sats+1 {
+			return ic
+		}
+	}
+	off := make([]int32, sats+1)
+	for u := 0; u < sats; u++ {
+		off[u+1] = off[u] + int32(len(g.Neighbors(u)))
+	}
+	adj := make([]int32, off[sats])
+	k := 0
+	for u := 0; u < sats; u++ {
+		for _, nb := range g.Neighbors(u) {
+			adj[k] = int32(nb)
+			k++
+		}
+	}
+	v, _ := islCSRCache.LoadOrStore(g, islCSR{off: off, adj: adj})
+	return v.(islCSR)
+}
+
 // ISLShortest runs Dijkstra over the ISL grid alone, with positions given by
 // satPos (indexed by satellite ID). It is the standalone form used by
-// packages that manage their own snapshots (meetup, migrate).
+// packages that manage their own snapshots (meetup, migrate); it shares the
+// pooled query core, with the grid's static CSR cached per Grid.
 func ISLShortest(g *isl.Grid, satPos []geo.Vec3, a, b int) (Path, error) {
 	sats := len(satPos)
 	if a < 0 || a >= sats || b < 0 || b >= sats {
-		return Path{}, fmt.Errorf("netgraph: satellite out of range (a=%d b=%d sats=%d)", a, b, sats)
+		return Path{}, errSatOutOfRange(a, b, sats)
 	}
 	if a == b {
 		return Path{Nodes: []NodeID{NodeID(a)}}, nil
 	}
-	dist := make([]float64, sats)
-	prev := make([]int, sats)
-	done := make([]bool, sats)
-	for i := range dist {
-		dist[i] = math.Inf(1)
-		prev[i] = -1
+	m := defaultMetrics()
+	start := time.Now()
+	ic := islGraph(g, sats)
+	c := getCtx(sats)
+	c.dijkstra(csr{off: ic.off, adj: ic.adj, pos: satPos}, int32(a), int32(b))
+	d := c.distAt(int32(b))
+	var p Path
+	if !math.IsInf(d, 1) {
+		p = Path{Nodes: c.pathTo(int32(b)), OneWayMs: d}
 	}
-	dist[a] = 0
-	q := &pq{{node: NodeID(a)}}
-	for q.Len() > 0 {
-		it := heap.Pop(q).(pqItem)
-		u := int(it.node)
-		if done[u] {
-			continue
-		}
-		done[u] = true
-		if u == b {
-			break
-		}
-		for _, nb := range g.Neighbors(u) {
-			if done[nb] {
-				continue
-			}
-			w := units.PropagationDelayMs(satPos[u].Distance(satPos[nb]))
-			if nd := it.dist + w; nd < dist[nb] {
-				dist[nb] = nd
-				prev[nb] = u
-				heap.Push(q, pqItem{node: NodeID(nb), dist: nd})
-			}
-		}
-	}
-	if math.IsInf(dist[b], 1) {
+	putCtx(c)
+	m.islQueries.Inc()
+	m.islSec.Observe(time.Since(start).Seconds())
+	totalISLQueries.Add(1)
+	if math.IsInf(d, 1) {
 		return Path{}, ErrNoPath
 	}
-	var rev []NodeID
-	for at := b; at != -1; at = prev[at] {
-		rev = append(rev, NodeID(at))
-	}
-	nodes := make([]NodeID, len(rev))
-	for i := range rev {
-		nodes[i] = rev[len(rev)-1-i]
-	}
-	return Path{Nodes: nodes, OneWayMs: dist[b]}, nil
+	return p, nil
 }
 
 // LatencyToAllSats returns the one-way latency in milliseconds from ground
@@ -309,32 +283,49 @@ func ISLShortest(g *isl.Grid, satPos []geo.Vec3, a, b int) (Path, error) {
 // path exists. One Dijkstra pass; used by routed meetup-server selection
 // where the server need not be directly visible to every user.
 func (s *Snapshot) LatencyToAllSats(gi int) []float64 {
-	nNodes := s.net.Nodes()
-	dist := make([]float64, nNodes)
-	done := make([]bool, nNodes)
-	for i := range dist {
-		dist[i] = math.Inf(1)
+	return s.LatencyToAllSatsInto(gi, nil)
+}
+
+// LatencyToAllSatsInto is LatencyToAllSats writing into dst (grown if too
+// small), so steady-state callers make zero allocations per query.
+func (s *Snapshot) LatencyToAllSatsInto(gi int, dst []float64) []float64 {
+	m := s.net.metrics()
+	start := time.Now()
+	f := s.frozen()
+	c := getCtx(f.nodes)
+	c.dijkstra(f.g, int32(s.net.GroundNode(gi)), -1)
+	if cap(dst) < f.sats {
+		dst = make([]float64, f.sats)
 	}
-	src := s.net.GroundNode(gi)
-	dist[src] = 0
-	q := &pq{{node: src}}
-	for q.Len() > 0 {
-		it := heap.Pop(q).(pqItem)
-		if done[it.node] {
-			continue
-		}
-		done[it.node] = true
-		s.edgeIter(it.node, func(nb NodeID, w float64) {
-			if done[nb] {
-				return
-			}
-			if nd := it.dist + w; nd < dist[nb] {
-				dist[nb] = nd
-				heap.Push(q, pqItem{node: nb, dist: nd})
-			}
-		})
+	dst = dst[:f.sats]
+	for v := range dst {
+		dst[v] = c.distAt(int32(v))
 	}
-	return dist[:s.net.Sats()]
+	putCtx(c)
+	m.ssspQueries.Inc()
+	m.ssspSec.Observe(time.Since(start).Seconds())
+	totalSSSPQueries.Add(1)
+	return dst
+}
+
+// LatencyToAllNodes returns the one-way latency from src to every node
+// (satellites then ground stations), +Inf where unreachable. Used by fig3
+// to price one user against every data centre in a single pass.
+func (s *Snapshot) LatencyToAllNodes(src NodeID) []float64 {
+	m := s.net.metrics()
+	start := time.Now()
+	f := s.frozen()
+	c := getCtx(f.nodes)
+	c.dijkstra(f.g, int32(src), -1)
+	out := make([]float64, f.nodes)
+	for v := range out {
+		out[v] = c.distAt(int32(v))
+	}
+	putCtx(c)
+	m.ssspQueries.Inc()
+	m.ssspSec.Observe(time.Since(start).Seconds())
+	totalSSSPQueries.Add(1)
+	return out
 }
 
 // GroundToGroundRTTMs returns the round-trip latency between two ground

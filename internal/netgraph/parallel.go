@@ -1,0 +1,70 @@
+package netgraph
+
+// Parallel multi-source SSSP for the fan-out callers: meetup.BestRouted runs
+// one source per user, fig3 one per user against every data centre, the
+// fleet hand-off planner one per session. Sources share the frozen CSR
+// (built once, before the workers start) and draw pooled query contexts, so
+// the fan-out is embarrassingly parallel with deterministic per-slot output.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// AllSourcesLatencies runs LatencyToAllSats for every ground station index
+// in gis concurrently (up to GOMAXPROCS workers) and returns the results in
+// matching order: out[i][satID] is the one-way latency from gis[i].
+func (s *Snapshot) AllSourcesLatencies(gis []int) [][]float64 {
+	out := make([][]float64, len(gis))
+	s.forEachSource(len(gis), func(slot int) {
+		out[slot] = s.LatencyToAllSats(gis[slot])
+	})
+	return out
+}
+
+// AllSourcesNodeLatencies runs LatencyToAllNodes for every source node
+// concurrently: out[i][node] is the one-way latency from srcs[i] to node.
+func (s *Snapshot) AllSourcesNodeLatencies(srcs []NodeID) [][]float64 {
+	out := make([][]float64, len(srcs))
+	s.forEachSource(len(srcs), func(slot int) {
+		out[slot] = s.LatencyToAllNodes(srcs[slot])
+	})
+	return out
+}
+
+// forEachSource invokes run(0..n-1), fanning out over GOMAXPROCS goroutines
+// when that wins. The snapshot is frozen up front so workers never contend
+// on the sync.Once.
+func (s *Snapshot) forEachSource(n int, run func(int)) {
+	if n == 0 {
+		return
+	}
+	s.frozen()
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			run(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				run(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,216 @@
+package netgraph
+
+// The frozen-graph query core: one Dijkstra implementation shared by every
+// routing entry point — ShortestPath, LatencyToAllSats, ISLShortest, and
+// the parallel multi-source fan-outs — running over flat CSR arrays with a
+// pooled, generation-stamped scratch context and an index-addressed 4-ary
+// heap with decrease-key. The core is equivalence-pinned against the
+// pre-freeze closure-driven Dijkstra (see legacy.go and the differential
+// tests): identical latencies bit for bit, identical tie-broken paths.
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/geo"
+	"repro/internal/units"
+)
+
+// csr is adjacency in compressed-sparse-row form. Edge k of node u
+// (adj[off[u]:off[u+1]]) has weight w[k] when w is non-nil; otherwise the
+// weight is derived on the fly from the node positions pos — the ISL-only
+// case, where the topology is static but distances move with the snapshot.
+type csr struct {
+	off []int32
+	adj []int32
+	w   []float64
+	pos []geo.Vec3
+}
+
+// queryCtx is the reusable Dijkstra scratch: dist/prev/heap arrays sized to
+// the graph, validity tracked by a generation stamp so starting a new query
+// is O(1) instead of an O(n) clear. A node's dist/prev/hpos entries are
+// meaningful only when stamp[v] == gen.
+type queryCtx struct {
+	dist  []float64
+	prev  []int32
+	stamp []uint32
+	hpos  []int32 // heap index of a queued node; -1 once popped
+	heap  []int32 // 4-ary min-heap of node ids keyed by dist
+	gen   uint32
+}
+
+var ctxPool = sync.Pool{New: func() any { return new(queryCtx) }}
+
+// getCtx fetches a pooled context sized for n nodes and opens a fresh
+// generation; pair with putCtx.
+func getCtx(n int) *queryCtx {
+	c := ctxPool.Get().(*queryCtx)
+	if cap(c.dist) < n {
+		c.dist = make([]float64, n)
+		c.prev = make([]int32, n)
+		c.stamp = make([]uint32, n)
+		c.hpos = make([]int32, n)
+	}
+	c.dist = c.dist[:n]
+	c.prev = c.prev[:n]
+	c.stamp = c.stamp[:n]
+	c.hpos = c.hpos[:n]
+	c.heap = c.heap[:0]
+	c.gen++
+	if c.gen == 0 { // wrapped: stale stamps could alias the new generation
+		clear(c.stamp[:cap(c.stamp)])
+		c.gen = 1
+	}
+	return c
+}
+
+func putCtx(c *queryCtx) { ctxPool.Put(c) }
+
+// less orders heap entries by distance, ties broken on node id so pop order
+// is deterministic.
+func (c *queryCtx) less(a, b int32) bool {
+	da, db := c.dist[a], c.dist[b]
+	if da != db {
+		return da < db
+	}
+	return a < b
+}
+
+func (c *queryCtx) push(v int32) {
+	c.heap = append(c.heap, v)
+	c.siftUp(len(c.heap) - 1)
+}
+
+func (c *queryCtx) siftUp(i int) {
+	h := c.heap
+	v := h[i]
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !c.less(v, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		c.hpos[h[p]] = int32(i)
+		i = p
+	}
+	h[i] = v
+	c.hpos[v] = int32(i)
+}
+
+func (c *queryCtx) siftDown(i int) {
+	h := c.heap
+	n := len(h)
+	v := h[i]
+	for {
+		lo := i<<2 + 1
+		if lo >= n {
+			break
+		}
+		hi := lo + 4
+		if hi > n {
+			hi = n
+		}
+		m := lo
+		for k := lo + 1; k < hi; k++ {
+			if c.less(h[k], h[m]) {
+				m = k
+			}
+		}
+		if !c.less(h[m], v) {
+			break
+		}
+		h[i] = h[m]
+		c.hpos[h[m]] = int32(i)
+		i = m
+	}
+	h[i] = v
+	c.hpos[v] = int32(i)
+}
+
+func (c *queryCtx) popMin() int32 {
+	h := c.heap
+	v := h[0]
+	last := len(h) - 1
+	tail := h[last]
+	c.heap = h[:last]
+	if last > 0 {
+		c.heap[0] = tail
+		c.hpos[tail] = 0
+		c.siftDown(0)
+	}
+	c.hpos[v] = -1
+	return v
+}
+
+// relax offers the candidate distance nd to v via predecessor u. Strict
+// improvement only, matching the legacy relaxation: on an exact tie the
+// first-seen predecessor keeps the node.
+func (c *queryCtx) relax(u, v int32, nd float64) {
+	if c.stamp[v] != c.gen {
+		c.stamp[v] = c.gen
+		c.dist[v] = nd
+		c.prev[v] = u
+		c.push(v)
+		return
+	}
+	if nd < c.dist[v] {
+		// Non-negative weights mean a settled node can never improve, so a
+		// successful decrease always finds v still queued (hpos >= 0).
+		c.dist[v] = nd
+		c.prev[v] = u
+		c.siftUp(int(c.hpos[v]))
+	}
+}
+
+// dijkstra runs from src until dst is settled (dst >= 0) or the reachable
+// graph is exhausted (dst < 0: full single-source shortest paths). Results
+// live in c.dist/c.prev for nodes stamped with the current generation.
+func (c *queryCtx) dijkstra(g csr, src, dst int32) {
+	c.stamp[src] = c.gen
+	c.dist[src] = 0
+	c.prev[src] = -1
+	c.push(src)
+	for len(c.heap) > 0 {
+		u := c.popMin()
+		if u == dst {
+			return
+		}
+		du := c.dist[u]
+		lo, hi := g.off[u], g.off[u+1]
+		if g.w != nil {
+			for k := lo; k < hi; k++ {
+				c.relax(u, g.adj[k], du+g.w[k])
+			}
+		} else {
+			pu := g.pos[u]
+			for k := lo; k < hi; k++ {
+				v := g.adj[k]
+				c.relax(u, v, du+units.PropagationDelayMs(pu.Distance(g.pos[v])))
+			}
+		}
+	}
+}
+
+// distAt returns the computed distance of v, +Inf when unreached.
+func (c *queryCtx) distAt(v int32) float64 {
+	if c.stamp[v] != c.gen {
+		return math.Inf(1)
+	}
+	return c.dist[v]
+}
+
+// pathTo rebuilds the src→dst node sequence from the prev chain; call only
+// after dijkstra settled dst.
+func (c *queryCtx) pathTo(dst int32) []NodeID {
+	n := 0
+	for at := dst; at != -1; at = c.prev[at] {
+		n++
+	}
+	nodes := make([]NodeID, n)
+	for at := dst; at != -1; at = c.prev[at] {
+		n--
+		nodes[n] = NodeID(at)
+	}
+	return nodes
+}
