@@ -52,6 +52,10 @@ func main() {
 	}
 	r := runner{out: *out, fast: *fast, tracer: obs.NewTracer(nil)}
 	netgraph.SetTracer(r.tracer) // snapshot-freeze spans join the run trace
+	// Flight recorder over the process-default registry (where the shared
+	// ephemeris engine and frozen-graph routing report); one frame is
+	// recorded per figure at its elapsed wall-clock offset.
+	tl := obs.NewTimeline(obs.Default(), obs.TimelineConfig{})
 
 	jobs := map[string]func() error{
 		"1":           r.fig1,
@@ -93,6 +97,7 @@ func main() {
 		if err := r.runFigure(name, jobs[name], &info); err != nil {
 			fatal(fmt.Errorf("fig %s: %w", name, err))
 		}
+		tl.Record(time.Since(runStart).Seconds())
 	}
 	info.TotalSeconds = time.Since(runStart).Seconds()
 	info.SweepIterations = experiments.Progress() - startIters
@@ -106,6 +111,20 @@ func main() {
 	info.NetgraphFreezes = ns.Freezes
 	info.NetgraphFrozenEdges = ns.FrozenEdges
 	info.NetgraphQueries = ns.Queries()
+	info.TimelineFrames = tl.Stats().Frames
+	if ns.PathQueries > 0 {
+		q := netgraph.QueryQuantiles("path", 0.50, 0.95, 0.99)
+		info.PathQueryP50Ms, info.PathQueryP95Ms, info.PathQueryP99Ms = q[0], q[1], q[2]
+		fmt.Fprintf(os.Stderr, "netgraph path query latency: p50 %.4g ms, p95 %.4g ms, p99 %.4g ms\n",
+			q[0], q[1], q[2])
+	}
+	for _, res := range obs.EvalSLOs(tl, figureSLOs(ns)...) {
+		info.SLOs = append(info.SLOs,
+			sloSummary{Name: res.SLO.Name, Met: res.Met, Compliance: res.Compliance})
+	}
+	if err := writeTimeline(filepath.Join(*out, "timeline.jsonl"), tl); err != nil {
+		fatal(err)
+	}
 	if ns.Freezes > 0 {
 		fmt.Fprintf(os.Stderr, "netgraph: %d snapshot freezes (%d edges), %d routing queries (%d path / %d sssp / %d isl)\n",
 			ns.Freezes, ns.FrozenEdges, ns.Queries(), ns.PathQueries, ns.SSSPQueries, ns.ISLQueries)
@@ -123,6 +142,39 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *traceOut)
 	}
+}
+
+// figureSLOs are the objectives judged over a figures run: routing-query
+// latency stays interactive whenever the run actually routed.
+func figureSLOs(ns netgraph.Stats) []obs.SLO {
+	var slos []obs.SLO
+	if ns.PathQueries > 0 {
+		slos = append(slos, obs.SLO{Name: "p99 path query <= 5ms", Kind: obs.SLOLatency,
+			Metric: "netgraph_query_ms", Labels: map[string]string{"kind": "path"},
+			Q: 0.99, Objective: 5})
+	}
+	if ns.SSSPQueries > 0 {
+		slos = append(slos, obs.SLO{Name: "p99 sssp query <= 50ms", Kind: obs.SLOLatency,
+			Metric: "netgraph_query_ms", Labels: map[string]string{"kind": "sssp"},
+			Q: 0.99, Objective: 50})
+	}
+	return slos
+}
+
+// writeTimeline exports the recorded frames as JSONL next to the figures.
+func writeTimeline(path string, tl *obs.Timeline) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = tl.WriteJSONL(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+	return err
 }
 
 // runFigure wraps one figure job in a span and records its timing and sweep

@@ -45,6 +45,22 @@ type runInfo struct {
 	NetgraphFreezes     uint64 `json:"netgraph_freezes"`
 	NetgraphFrozenEdges uint64 `json:"netgraph_frozen_edges"`
 	NetgraphQueries     uint64 `json:"netgraph_queries"`
+
+	// Flight-recorder outcome: one timeline frame per figure, plus the
+	// streaming point-to-point routing-query latency estimates (ms) at the
+	// end of the run and the SLO verdicts over the recorded frames.
+	TimelineFrames int          `json:"timeline_frames,omitempty"`
+	PathQueryP50Ms float64      `json:"netgraph_path_ms_p50,omitempty"`
+	PathQueryP95Ms float64      `json:"netgraph_path_ms_p95,omitempty"`
+	PathQueryP99Ms float64      `json:"netgraph_path_ms_p99,omitempty"`
+	SLOs           []sloSummary `json:"slos,omitempty"`
+}
+
+// sloSummary is the compact runinfo form of one SLO verdict.
+type sloSummary struct {
+	Name       string  `json:"name"`
+	Met        bool    `json:"met"`
+	Compliance float64 `json:"compliance"`
 }
 
 func newRunInfo(fast bool) runInfo {

@@ -31,6 +31,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strconv"
 
 	"repro/internal/constellation"
 	"repro/internal/ephem"
@@ -57,6 +58,14 @@ type options struct {
 	csvPath  string
 	debug    string
 	progress bool
+
+	timeline     string  // "auto", "off", or sim-second cadence
+	timelineOut  string  // JSONL export path
+	timelineHTML string  // HTML report path
+	timelineCap  int     // ring capacity in frames
+	sloReplanMs  float64 // p99 replan latency objective
+	sloXferMs    float64 // p99 transfer latency objective
+	sloAvail     float64 // session-availability ratio objective
 
 	faultSeed  int64
 	satMTBFHr  float64 // mean time between satellite hard failures (0 = off)
@@ -86,6 +95,15 @@ func parseFlags(args []string) (options, error) {
 	fs.StringVar(&o.csvPath, "csv", "", "per-epoch CSV output path (empty = off)")
 	fs.StringVar(&o.debug, "debug", "", "debug listen address for /metrics, /healthz, /debug/pprof (empty = off)")
 	fs.BoolVar(&o.progress, "v", false, "log per-epoch progress to stderr")
+	fs.StringVar(&o.timeline, "timeline", "auto",
+		"flight-recorder cadence in simulated seconds, auto (one frame per epoch), or off")
+	fs.StringVar(&o.timelineOut, "timeline-out", "", "timeline JSONL export path (empty = off)")
+	fs.StringVar(&o.timelineHTML, "timeline-html", "", "timeline HTML report path (empty = off)")
+	fs.IntVar(&o.timelineCap, "timeline-cap", obs.DefaultTimelineCapacity,
+		"flight-recorder ring capacity in frames (oldest evicted beyond this)")
+	fs.Float64Var(&o.sloReplanMs, "slo-replan-ms", 50, "SLO: p99 per-session replan latency bound in ms")
+	fs.Float64Var(&o.sloXferMs, "slo-transfer-ms", 250, "SLO: p99 hand-off transfer latency bound in ms")
+	fs.Float64Var(&o.sloAvail, "slo-avail", 0.999, "SLO: assigned/sessions availability floor in (0,1]")
 	fs.Int64Var(&o.faultSeed, "fault-seed", 1, "fault-injection seed (independent of the workload seed)")
 	fs.Float64Var(&o.satMTBFHr, "sat-mtbf", 0, "mean hours between per-satellite hard failures (0 = no failures; 100 ≈ 1%/h)")
 	fs.Float64Var(&o.satMTTRSec, "sat-mttr", 0, "mean seconds to recover a failed satellite (0 = default 1800, negative = never)")
@@ -112,7 +130,44 @@ func parseFlags(args []string) (options, error) {
 	if o.migFail < 0 || o.migFail >= 1 {
 		return o, fmt.Errorf("mig-fail %v outside [0,1)", o.migFail)
 	}
+	if _, err := o.timelineCadence(); err != nil {
+		return o, err
+	}
+	if o.timelineCap <= 0 {
+		return o, fmt.Errorf("timeline-cap %d must be positive", o.timelineCap)
+	}
+	if o.sloAvail <= 0 || o.sloAvail > 1 {
+		return o, fmt.Errorf("slo-avail %v outside (0,1]", o.sloAvail)
+	}
 	return o, nil
+}
+
+// timelineCadence resolves the -timeline flag: a recorder cadence in
+// simulated seconds, or 0 when the flight recorder is off.
+func (o options) timelineCadence() (float64, error) {
+	switch o.timeline {
+	case "off":
+		return 0, nil
+	case "auto", "":
+		return o.stepSec, nil
+	}
+	sec, err := strconv.ParseFloat(o.timeline, 64)
+	if err != nil || sec <= 0 {
+		return 0, fmt.Errorf("timeline %q must be auto, off, or a positive sim-second cadence", o.timeline)
+	}
+	return sec, nil
+}
+
+// slos builds the run's objectives from the flag bounds.
+func (o options) slos() []obs.SLO {
+	return []obs.SLO{
+		{Name: fmt.Sprintf("p99 replan <= %gms", o.sloReplanMs), Kind: obs.SLOLatency,
+			Metric: "fleet_replan_ms", Q: 0.99, Objective: o.sloReplanMs},
+		{Name: fmt.Sprintf("p99 transfer <= %gms", o.sloXferMs), Kind: obs.SLOLatency,
+			Metric: "fleet_transfer_ms", Q: 0.99, Objective: o.sloXferMs},
+		{Name: fmt.Sprintf("availability >= %.2f%%", 100*o.sloAvail), Kind: obs.SLORatio,
+			Metric: "fleet_sessions_assigned", TotalMetric: "fleet_sessions", Objective: o.sloAvail},
+	}
 }
 
 func buildNamed(name string) (*constellation.Constellation, error) {
@@ -190,18 +245,24 @@ func run(out io.Writer, o options) error {
 		return err
 	}
 
+	var tl *obs.Timeline
+	slos := o.slos()
+	if cadence, _ := o.timelineCadence(); cadence > 0 {
+		tl = obs.NewTimeline(reg, obs.TimelineConfig{CadenceSec: cadence, Capacity: o.timelineCap})
+	}
+
 	if o.debug != "" {
 		ln, err := net.Listen("tcp", o.debug)
 		if err != nil {
 			return fmt.Errorf("debug listen: %w", err)
 		}
 		defer ln.Close()
-		rt := obs.RegisterRuntimeMetrics(reg)
-		mux := obs.DebugMux(reg)
-		go http.Serve(ln, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-			rt.Collect()
-			mux.ServeHTTP(w, r)
-		}))
+		obs.RegisterRuntimeMetrics(reg) // collected by the mux's pre-scrape hook
+		var muxOpts []obs.DebugOption
+		if tl != nil {
+			muxOpts = append(muxOpts, obs.WithTimeline(tl), obs.WithSLOs(slos...))
+		}
+		go http.Serve(ln, obs.DebugMux(reg, muxOpts...))
 		log.Printf("fleetsim: debug endpoint on http://%s/metrics", ln.Addr())
 	}
 
@@ -273,6 +334,9 @@ func run(out io.Writer, o options) error {
 			log.Printf("t=%6.0fs sessions=%d assigned=%d handoffs=%d rejected=%d wall=%.2fs",
 				rep.TSec, rep.Sessions, rep.Assigned, rep.Handoffs, rep.Rejections, rep.WallSec)
 		}
+		if tl != nil {
+			tl.MaybeRecord(orch.Now())
+		}
 	}
 
 	if o.csvPath != "" {
@@ -310,6 +374,12 @@ func run(out io.Writer, o options) error {
 		fmt.Fprintf(out, "per-epoch series written to %s\n", o.csvPath)
 	}
 
+	if tl != nil {
+		if err := exportTimeline(out, tl, o); err != nil {
+			return err
+		}
+	}
+
 	return report(out, orch, reportInputs{
 		epochs:       epochs,
 		horizonSec:   horizonSec,
@@ -322,7 +392,42 @@ func run(out io.Writer, o options) error {
 		downtime:     downtime,
 		inj:          inj,
 		chaos:        chaos,
+		tl:           tl,
+		slos:         slos,
 	})
+}
+
+// exportTimeline writes the recorded frames to the requested files.
+func exportTimeline(out io.Writer, tl *obs.Timeline, o options) error {
+	write := func(path string, render func(io.Writer) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		w := bufio.NewWriter(f)
+		err = render(w)
+		if ferr := w.Flush(); err == nil {
+			err = ferr
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		return err
+	}
+	if o.timelineOut != "" {
+		if err := write(o.timelineOut, tl.WriteJSONL); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "timeline JSONL written to %s\n", o.timelineOut)
+	}
+	if o.timelineHTML != "" {
+		title := fmt.Sprintf("fleetsim %s — %d sessions", o.name, o.sessions)
+		if err := write(o.timelineHTML, func(w io.Writer) error { return tl.WriteHTML(w, title) }); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "timeline HTML written to %s\n", o.timelineHTML)
+	}
+	return nil
 }
 
 type reportInputs struct {
@@ -335,6 +440,9 @@ type reportInputs struct {
 
 	inj   *faults.Injector // nil when chaos is off
 	chaos chaosTotals
+
+	tl   *obs.Timeline // nil when -timeline=off
+	slos []obs.SLO
 }
 
 // chaosTotals accumulates the fault-injection story over the run. All of
@@ -403,8 +511,20 @@ func report(out io.Writer, orch *fleet.Orchestrator, in reportInputs) error {
 		{"ephemeris cache", ephemLine(orch.Ephemeris().Stats())},
 		{"frozen-graph routing", netgraphLine(netgraph.TotalStats())},
 	}
+	if in.tl != nil {
+		ts := in.tl.Stats()
+		rows = append(rows, []string{"flight recorder",
+			fmt.Sprintf("%d frames in ring (cap %d, %d evicted), cadence %gs",
+				ts.Frames, ts.Capacity, ts.Dropped, in.tl.Cadence())})
+	}
 	if err := plot.Table(out, nil, rows); err != nil {
 		return err
+	}
+	if in.tl != nil {
+		fmt.Fprintf(out, "\nSLO report — objectives over the recorded timeline\n")
+		if err := obs.WriteSLOTable(out, obs.EvalSLOs(in.tl, in.slos...)); err != nil {
+			return err
+		}
 	}
 	if in.inj == nil {
 		return nil

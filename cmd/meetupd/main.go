@@ -94,14 +94,10 @@ func main() {
 		if err != nil {
 			log.Fatalf("meetupd: debug listen: %v", err)
 		}
-		rt := obs.RegisterRuntimeMetrics(srv.reg)
+		obs.RegisterRuntimeMetrics(srv.reg) // refreshed by the mux's pre-scrape hook
 		mux := obs.DebugMux(srv.reg)
-		h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-			rt.Collect() // refresh runtime gauges on every scrape
-			mux.ServeHTTP(w, r)
-		})
 		go func() {
-			if err := http.Serve(dln, h); err != nil {
+			if err := http.Serve(dln, mux); err != nil {
 				log.Printf("meetupd: debug server: %v", err)
 			}
 		}()

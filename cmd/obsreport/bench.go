@@ -1,0 +1,114 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/plot"
+)
+
+// benchResult / benchFile mirror the BENCH_*.json documents cmd/figures
+// -benchjson writes (kept in sync by TestBenchFormatRoundTrip).
+type benchResult struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type benchFile struct {
+	GeneratedUnix int64         `json:"generated_unix"`
+	Source        string        `json:"source"`
+	Benchmarks    []benchResult `json:"benchmarks"`
+}
+
+// benchReport renders the perf trajectory across the files, in argument
+// order: one row per benchmark metric, one column per file, plus the
+// relative change from the first to the last file that carries the metric.
+func benchReport(out io.Writer, paths []string) error {
+	files := make([]benchFile, len(paths))
+	for i, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return err
+		}
+		err = json.NewDecoder(f).Decode(&files[i])
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", p, err)
+		}
+	}
+
+	// Collect every benchmark/metric pair, keeping first-seen order of
+	// benchmarks and sorting metrics inside one benchmark.
+	type cell struct {
+		v  float64
+		ok bool
+	}
+	values := map[string][]cell{} // "bench\xffmetric" -> per-file cells
+	var keys []string
+	for i, bf := range files {
+		for _, b := range bf.Benchmarks {
+			for metric, v := range b.Metrics {
+				key := b.Name + "\xff" + metric
+				if _, seen := values[key]; !seen {
+					values[key] = make([]cell, len(files))
+					keys = append(keys, key)
+				}
+				values[key][i] = cell{v: v, ok: true}
+			}
+		}
+	}
+	sort.Strings(keys)
+
+	header := []string{"benchmark", "metric"}
+	for i, p := range paths {
+		col := filepath.Base(p)
+		if g := files[i].GeneratedUnix; g > 0 {
+			col += fmt.Sprintf(" (@%d)", g)
+		}
+		header = append(header, col)
+	}
+	header = append(header, "change")
+
+	rows := make([][]string, 0, len(keys))
+	for _, key := range keys {
+		name, metric, _ := strings.Cut(key, "\xff")
+		row := []string{name, metric}
+		cells := values[key]
+		first, last := math.NaN(), math.NaN()
+		for _, c := range cells {
+			if !c.ok {
+				row = append(row, "—")
+				continue
+			}
+			if math.IsNaN(first) {
+				first = c.v
+			}
+			last = c.v
+			row = append(row, fmt.Sprintf("%.4g", c.v))
+		}
+		row = append(row, changeText(first, last))
+		rows = append(rows, row)
+	}
+
+	fmt.Fprintf(out, "\nperf trajectory — %d files, %d metrics\n\n", len(files), len(rows))
+	return plot.Table(out, header, rows)
+}
+
+// changeText formats last-vs-first drift; lower is not assumed better, so
+// it reports the signed percentage without a verdict.
+func changeText(first, last float64) string {
+	if math.IsNaN(first) || math.IsNaN(last) || first == last {
+		return "="
+	}
+	if first == 0 {
+		return "new"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(last-first)/first)
+}

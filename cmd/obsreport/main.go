@@ -1,0 +1,67 @@
+// Command obsreport renders flight-recorder artifacts offline: a recorded
+// timeline (JSONL, as exported by fleetsim -timeline-out, cmd/figures, or
+// the /timeline debug endpoint) becomes a per-series summary table, an HTML
+// report, or CSV; a set of BENCH_*.json files becomes a perf-trajectory
+// table comparing headline metrics across commits.
+//
+// Usage:
+//
+//	obsreport -timeline tl.jsonl                 # per-series summary table
+//	obsreport -timeline tl.jsonl -html tl.html   # self-contained HTML report
+//	obsreport -timeline tl.jsonl -csv tl.csv     # long-form CSV
+//	obsreport -bench BENCH_old.json -bench BENCH_new.json
+//
+// Both modes compose: one invocation can summarise a timeline and compare
+// benchmark files.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	var (
+		timeline = flag.String("timeline", "", "recorded timeline JSONL to summarise")
+		htmlOut  = flag.String("html", "", "also render the timeline as a self-contained HTML report")
+		csvOut   = flag.String("csv", "", "also render the timeline as long-form CSV")
+		title    = flag.String("title", "recorded timeline", "report title for -html")
+		benches  benchList
+	)
+	flag.Var(&benches, "bench", "BENCH_*.json file to compare (repeatable; order = column order)")
+	flag.Parse()
+
+	if *timeline == "" && len(benches) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(os.Stdout, *timeline, *htmlOut, *csvOut, *title, benches); err != nil {
+		fmt.Fprintln(os.Stderr, "obsreport:", err)
+		os.Exit(1)
+	}
+}
+
+// benchList collects repeated -bench flags in order.
+type benchList []string
+
+func (b *benchList) String() string { return fmt.Sprint([]string(*b)) }
+func (b *benchList) Set(s string) error {
+	*b = append(*b, s)
+	return nil
+}
+
+func run(out io.Writer, timeline, htmlOut, csvOut, title string, benches []string) error {
+	if timeline != "" {
+		if err := timelineReport(out, timeline, htmlOut, csvOut, title); err != nil {
+			return err
+		}
+	}
+	if len(benches) > 0 {
+		if err := benchReport(out, benches); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -315,7 +315,9 @@ func (e *Engine) propagate(t float64, dst []geo.Vec3) {
 			dst[i] = sats[i].Prop.ECEFAt(t)
 		}
 	})
-	e.m.propagateSec.Observe(time.Since(start).Seconds())
+	elapsed := time.Since(start)
+	e.m.propagateSec.Observe(elapsed.Seconds())
+	e.m.propagateQ.Observe(float64(elapsed) / float64(time.Millisecond))
 	e.m.propagated.Add(uint64(len(sats)))
 	e.mu.Lock()
 	e.propagated += uint64(len(sats))

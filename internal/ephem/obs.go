@@ -13,6 +13,7 @@ type metricsSet struct {
 	interpolations *obs.Counter   // ephem_interpolations_total
 	frames         *obs.Gauge     // ephem_cache_frames
 	propagateSec   *obs.Histogram // ephem_propagate_seconds
+	propagateQ     *obs.Quantile  // ephem_propagate_ms — cache-miss batch latency
 }
 
 // One full-constellation batch is hundreds of µs serial, tens of µs when
@@ -33,5 +34,7 @@ func newMetrics(reg *obs.Registry) *metricsSet {
 			"Full-constellation frames currently held across cache tiers."),
 		propagateSec: reg.Histogram("ephem_propagate_seconds",
 			"Wall-clock time of one full-constellation propagation batch.", propagateBuckets),
+		propagateQ: reg.Quantile("ephem_propagate_ms",
+			"Streaming quantile of cache-miss propagation-batch latency in ms."),
 	}
 }

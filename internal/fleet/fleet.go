@@ -669,6 +669,7 @@ func (o *Orchestrator) Step() (EpochReport, error) {
 			rep.Transfer.Add(transfer)
 			rep.Downtime.Add(res.DowntimeSec)
 			o.m.transferMs.Observe(transfer)
+			o.m.transferQ.Observe(transfer)
 			o.m.handoffs.Inc()
 			o.m.placeHandoff.Inc()
 		} else {
@@ -697,6 +698,7 @@ func (o *Orchestrator) Step() (EpochReport, error) {
 	o.m.rejections.Add(uint64(rep.Rejections))
 	for i := range proposals {
 		o.m.placeLat.Observe(proposals[i].latSec)
+		o.m.replanQ.Observe(proposals[i].latSec * 1e3)
 		if len(o.latSamples) < maxLatencySamples {
 			o.latSamples = append(o.latSamples, proposals[i].latSec)
 		}

@@ -20,6 +20,11 @@ type metricsSet struct {
 	epochSec     *obs.Histogram // fleet_epoch_seconds
 	transferMs   *obs.Histogram // fleet_handoff_transfer_ms
 
+	// Streaming quantiles (no preset bucket bounds) feeding the timeline
+	// recorder and the fleetsim SLO report.
+	replanQ   *obs.Quantile // fleet_replan_ms — per-session proposal/replan latency
+	transferQ *obs.Quantile // fleet_transfer_ms — hand-off one-way transfer latency
+
 	// Fault-injection families (all events are counted even when no
 	// injector is configured — they then stay at zero).
 	faultSatFail  *obs.Counter // fleet_faults_total{kind="sat_fail"}
@@ -87,5 +92,9 @@ func newMetrics(reg *obs.Registry) *metricsSet {
 			"Wall-clock time of one full planner epoch.", obs.DefBuckets),
 		transferMs: reg.Histogram("fleet_handoff_transfer_ms",
 			"One-way state-transfer latency of hand-offs (ISL path or ground relay).", transferBuckets),
+		replanQ: reg.Quantile("fleet_replan_ms",
+			"Streaming quantile of per-session placement/replan proposal latency in wall-clock ms."),
+		transferQ: reg.Quantile("fleet_transfer_ms",
+			"Streaming quantile of hand-off one-way state-transfer latency in simulated ms."),
 	}
 }

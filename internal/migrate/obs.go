@@ -17,6 +17,7 @@ type wireMetrics struct {
 	bytesOut *obs.Counter    // migrate_frame_bytes_total{dir} — wire bytes incl. framing
 	bytesIn  *obs.Counter
 	errors   *obs.CounterVec // migrate_frame_errors_total{dir}
+	sendQ    *obs.Quantile   // migrate_send_ms — whole-transfer wall latency
 }
 
 var (
@@ -36,6 +37,8 @@ func wire() *wireMetrics {
 			bytesIn:  bytes.With("in"),
 			errors: reg.CounterVec("migrate_frame_errors_total",
 				"Frame encode/decode failures by direction.", "dir"),
+			sendQ: reg.Quantile("migrate_send_ms",
+				"Streaming quantile of whole state-transfer send latency in wall-clock ms."),
 		}
 	})
 	return metrics

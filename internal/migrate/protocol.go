@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -132,6 +133,8 @@ func readFrame(r io.Reader) (FrameKind, []byte, error) {
 // empty), then session state, then the cut-over marker. Each phase is
 // recorded as a child span on the tracer installed via SetTracer.
 func SendState(w io.Writer, generic, session []byte) error {
+	start := time.Now()
+	defer func() { wire().sendQ.Observe(float64(time.Since(start)) / float64(time.Millisecond)) }()
 	root := tracer.Load().Start("migrate.send")
 	root.SetAttr("generic_bytes", fmt.Sprint(len(generic)))
 	root.SetAttr("session_bytes", fmt.Sprint(len(session)))
@@ -181,6 +184,8 @@ func SendStateResumable(w io.Writer, generic, session []byte, genericOff, sessio
 	if chunk <= 0 {
 		chunk = DefaultChunk
 	}
+	start := time.Now()
+	defer func() { wire().sendQ.Observe(float64(time.Since(start)) / float64(time.Millisecond)) }()
 	root := tracer.Load().Start("migrate.send")
 	root.SetAttr("generic_bytes", fmt.Sprint(len(generic)-genericOff))
 	root.SetAttr("session_bytes", fmt.Sprint(len(session)-sessionOff))

@@ -192,6 +192,7 @@ func (s *Snapshot) ShortestPath(src, dst NodeID) (Path, error) {
 	putCtx(c)
 	m.pathQueries.Inc()
 	m.pathSec.Observe(time.Since(start).Seconds())
+	m.pathQ.Observe(float64(time.Since(start)) / float64(time.Millisecond))
 	totalPathQueries.Add(1)
 	if math.IsInf(d, 1) {
 		return Path{}, ErrNoPath
@@ -271,6 +272,7 @@ func ISLShortest(g *isl.Grid, satPos []geo.Vec3, a, b int) (Path, error) {
 	putCtx(c)
 	m.islQueries.Inc()
 	m.islSec.Observe(time.Since(start).Seconds())
+	m.islQ.Observe(float64(time.Since(start)) / float64(time.Millisecond))
 	totalISLQueries.Add(1)
 	if math.IsInf(d, 1) {
 		return Path{}, ErrNoPath
@@ -304,6 +306,7 @@ func (s *Snapshot) LatencyToAllSatsInto(gi int, dst []float64) []float64 {
 	putCtx(c)
 	m.ssspQueries.Inc()
 	m.ssspSec.Observe(time.Since(start).Seconds())
+	m.ssspQ.Observe(float64(time.Since(start)) / float64(time.Millisecond))
 	totalSSSPQueries.Add(1)
 	return dst
 }
@@ -324,6 +327,7 @@ func (s *Snapshot) LatencyToAllNodes(src NodeID) []float64 {
 	putCtx(c)
 	m.ssspQueries.Inc()
 	m.ssspSec.Observe(time.Since(start).Seconds())
+	m.ssspQ.Observe(float64(time.Since(start)) / float64(time.Millisecond))
 	totalSSSPQueries.Add(1)
 	return out
 }

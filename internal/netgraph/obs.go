@@ -21,6 +21,12 @@ type metricsSet struct {
 	pathSec     *obs.Histogram // netgraph_query_seconds{kind=path}
 	ssspSec     *obs.Histogram // netgraph_query_seconds{kind=sssp}
 	islSec      *obs.Histogram // netgraph_query_seconds{kind=isl}
+
+	// Streaming quantiles over the same query latencies (ms), feeding the
+	// timeline recorder without preset bucket bounds.
+	pathQ *obs.Quantile // netgraph_query_ms{kind=path}
+	ssspQ *obs.Quantile // netgraph_query_ms{kind=sssp}
+	islQ  *obs.Quantile // netgraph_query_ms{kind=isl}
 }
 
 // A freeze is one visibility scan per ground station plus the CSR fill —
@@ -36,6 +42,8 @@ func newMetrics(reg *obs.Registry) *metricsSet {
 		"Routing queries served from frozen CSR snapshots, by kind.", "kind")
 	querySec := reg.HistogramVec("netgraph_query_seconds",
 		"Wall-clock time of one routing query on a frozen snapshot.", queryBuckets, "kind")
+	queryQ := reg.QuantileVec("netgraph_query_ms",
+		"Streaming quantile of routing-query wall-clock latency in ms, by kind.", "kind")
 	return &metricsSet{
 		freezes: reg.Counter("netgraph_freeze_total",
 			"Snapshot topologies frozen into CSR adjacency."),
@@ -49,7 +57,29 @@ func newMetrics(reg *obs.Registry) *metricsSet {
 		pathSec:     querySec.With("path"),
 		ssspSec:     querySec.With("sssp"),
 		islSec:      querySec.With("isl"),
+		pathQ:       queryQ.With("path"),
+		ssspQ:       queryQ.With("sssp"),
+		islQ:        queryQ.With("isl"),
 	}
+}
+
+// QueryQuantiles returns streaming estimates (ms) of query latency for one
+// kind ("path", "sssp", "isl") from the package-default metrics — what the
+// CLIs put in runinfo without scraping an HTTP endpoint.
+func QueryQuantiles(kind string, ps ...float64) []float64 {
+	m := defaultMetrics()
+	var q *obs.Quantile
+	switch kind {
+	case "path":
+		q = m.pathQ
+	case "sssp":
+		q = m.ssspQ
+	case "isl":
+		q = m.islQ
+	default:
+		return make([]float64, len(ps))
+	}
+	return q.Quantiles(ps...)
 }
 
 var (

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func timelineMux(t *testing.T) (*httptest.Server, *Timeline) {
+	t.Helper()
+	reg := NewRegistry()
+	q := reg.Quantile("replan_ms", "replan latency")
+	for i := 0; i < 10; i++ {
+		q.Observe(5)
+	}
+	tl := NewTimeline(reg, TimelineConfig{CadenceSec: 60})
+	tl.Record(60)
+	tl.Record(120)
+	slo := SLO{Name: "p99 replan <= 50ms", Kind: SLOLatency, Metric: "replan_ms", Objective: 50}
+	srv := httptest.NewServer(DebugMux(reg, WithTimeline(tl), WithSLOs(slo)))
+	t.Cleanup(srv.Close)
+	return srv, tl
+}
+
+func TestTimelineEndpoint(t *testing.T) {
+	srv, tl := timelineMux(t)
+
+	code, body := get(t, srv, "/timeline")
+	if code != 200 {
+		t.Fatalf("/timeline = %d", code)
+	}
+	frames, err := ReadFramesJSONL(strings.NewReader(body))
+	if err != nil || len(frames) != len(tl.Frames()) {
+		t.Fatalf("served JSONL: %d frames, err %v", len(frames), err)
+	}
+
+	code, body = get(t, srv, "/timeline?format=csv")
+	if code != 200 || !strings.HasPrefix(body, "t_sec,name,labels,field,value") {
+		t.Errorf("/timeline?format=csv = %d, body %q…", code, body[:min(len(body), 40)])
+	}
+
+	code, body = get(t, srv, "/timeline?format=html")
+	if code != 200 || !strings.Contains(body, "<svg") {
+		t.Errorf("/timeline?format=html = %d, no chart", code)
+	}
+}
+
+func TestSLOEndpoint(t *testing.T) {
+	srv, _ := timelineMux(t)
+
+	code, body := get(t, srv, "/slo")
+	if code != 200 || !strings.Contains(body, "p99 replan <= 50ms") || !strings.Contains(body, "MET") {
+		t.Errorf("/slo = %d, body:\n%s", code, body)
+	}
+
+	code, body = get(t, srv, "/slo?format=json")
+	if code != 200 {
+		t.Fatalf("/slo?format=json = %d", code)
+	}
+	var results []SLOResult
+	if err := json.Unmarshal([]byte(body), &results); err != nil || len(results) != 1 {
+		t.Fatalf("JSON results: %v (%d)", err, len(results))
+	}
+	if !results[0].Met || results[0].Frames != 2 {
+		t.Errorf("result = %+v, want met over 2 frames", results[0])
+	}
+}
+
+func TestEndpointsAbsentWithoutTimeline(t *testing.T) {
+	reg := NewRegistry()
+	srv := httptest.NewServer(DebugMux(reg))
+	defer srv.Close()
+	if code, _ := get(t, srv, "/timeline"); code != 404 {
+		t.Errorf("/timeline without recorder = %d, want 404", code)
+	}
+	if code, _ := get(t, srv, "/slo"); code != 404 {
+		t.Errorf("/slo without recorder = %d, want 404", code)
+	}
+}
+
+// TestRuntimeMetricsFreshAtScrape locks in the pre-scrape hook: gauges must
+// reflect allocation that happened after RegisterRuntimeMetrics, with no
+// manual Collect call.
+func TestRuntimeMetricsFreshAtScrape(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntimeMetrics(reg)
+	srv := httptest.NewServer(DebugMux(reg))
+	defer srv.Close()
+
+	sink = make([]byte, 1<<20) // allocate after registration
+	code, body := get(t, srv, "/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, "go_heap_alloc_bytes ") {
+			if strings.TrimPrefix(line, "go_heap_alloc_bytes ") == "0" {
+				t.Error("heap gauge still zero at scrape: pre-scrape hook did not run")
+			}
+			return
+		}
+	}
+	t.Error("go_heap_alloc_bytes missing from scrape")
+}
+
+// sink keeps the test allocation live so the collector can see it.
+var sink []byte

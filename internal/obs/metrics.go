@@ -1,9 +1,13 @@
 // Package obs is the repo's stdlib-only observability layer: a metrics
-// registry (labelled counters, gauges, and fixed-bucket histograms with
-// lock-cheap atomic updates and Prometheus-text/JSON exposition), a span
-// tracer with an injectable clock (so simulated time can drive spans
-// deterministically), and the debug HTTP surface (/metrics, /healthz,
-// expvar, pprof) that cmd/meetupd mounts behind -debug.
+// registry (labelled counters, gauges, fixed-bucket histograms, and
+// streaming-quantile sketches with lock-cheap atomic updates and
+// Prometheus-text/JSON exposition), a span tracer with an injectable clock
+// (so simulated time can drive spans deterministically) and a bounded
+// finished-span ring, a flight recorder (Timeline: per-cadence samples of
+// every family into a bounded ring, exportable as JSONL/CSV/HTML) with SLO
+// evaluation on top, and the debug HTTP surface (/metrics, /healthz,
+// /timeline, /slo, expvar, pprof) that cmd/meetupd and cmd/fleetsim mount
+// behind -debug.
 //
 // Design notes: metric families are registered once (re-registration with
 // identical kind and label names returns the existing family; a mismatch
@@ -33,6 +37,9 @@ const (
 	KindCounter   Kind = "counter"
 	KindGauge     Kind = "gauge"
 	KindHistogram Kind = "histogram"
+	// KindQuantile is a streaming-quantile sketch (see quantile.go); it is
+	// exposed in the Prometheus text format as a summary.
+	KindQuantile Kind = "quantile"
 )
 
 // DefBuckets is the default histogram bucketing (seconds-flavoured, matching
@@ -171,6 +178,29 @@ func newHistogram(buckets []float64) *Histogram {
 type Registry struct {
 	mu       sync.RWMutex
 	families map[string]*family
+
+	hookMu        sync.Mutex
+	scrapeHooks   []func()
+	runtimeHooked bool
+}
+
+// OnScrape registers f to run before every HTTP scrape of the registry
+// (ServeHTTP), letting pull-style collectors refresh gauges lazily instead
+// of relying on callers to poll. Hooks do not run for direct Snapshot
+// calls, so high-frequency samplers (the Timeline) skip their cost.
+func (r *Registry) OnScrape(f func()) {
+	r.hookMu.Lock()
+	r.scrapeHooks = append(r.scrapeHooks, f)
+	r.hookMu.Unlock()
+}
+
+func (r *Registry) runScrapeHooks() {
+	r.hookMu.Lock()
+	hooks := append([]func(){}, r.scrapeHooks...)
+	r.hookMu.Unlock()
+	for _, f := range hooks {
+		f()
+	}
 }
 
 // NewRegistry creates an empty registry.
@@ -297,10 +327,11 @@ func (b *Bucket) UnmarshalJSON(data []byte) error {
 
 // Sample is one labelled series in a snapshot.
 type Sample struct {
-	Labels  map[string]string `json:"labels,omitempty"`
-	Value   float64           `json:"value"`             // counter/gauge value; histogram sum
-	Count   uint64            `json:"count,omitempty"`   // histogram only
-	Buckets []Bucket          `json:"buckets,omitempty"` // histogram only, cumulative
+	Labels    map[string]string `json:"labels,omitempty"`
+	Value     float64           `json:"value"`               // counter/gauge value; histogram/quantile sum
+	Count     uint64            `json:"count,omitempty"`     // histogram/quantile only
+	Buckets   []Bucket          `json:"buckets,omitempty"`   // histogram only, cumulative
+	Quantiles []QuantilePoint   `json:"quantiles,omitempty"` // quantile only, ExportQuantiles estimates
 }
 
 // FamilySnapshot is the point-in-time state of one metric family.
@@ -353,6 +384,10 @@ func (r *Registry) Snapshot() []FamilySnapshot {
 				}
 				cum += m.counts[len(m.bounds)].Load()
 				s.Buckets = append(s.Buckets, Bucket{UpperBound: math.Inf(1), Count: cum})
+			case *Quantile:
+				s.Value = m.Sum()
+				s.Count = m.Count()
+				s.Quantiles = m.snapshotQuantiles()
 			}
 			fs.Samples = append(fs.Samples, s)
 		}
@@ -377,12 +412,22 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		if fam.Help != "" {
 			fmt.Fprintf(&b, "# HELP %s %s\n", fam.Name, escapeHelp(fam.Help))
 		}
-		fmt.Fprintf(&b, "# TYPE %s %s\n", fam.Name, fam.Kind)
+		kind := string(fam.Kind)
+		if fam.Kind == KindQuantile {
+			kind = "summary" // the Prometheus type quantile families map onto
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", fam.Name, kind)
 		for _, s := range fam.Samples {
 			switch fam.Kind {
 			case KindHistogram:
 				for _, bk := range s.Buckets {
 					fmt.Fprintf(&b, "%s_bucket%s %d\n", fam.Name, labelString(s.Labels, "le", formatLe(bk.UpperBound)), bk.Count)
+				}
+				fmt.Fprintf(&b, "%s_sum%s %s\n", fam.Name, labelString(s.Labels, "", ""), formatValue(s.Value))
+				fmt.Fprintf(&b, "%s_count%s %d\n", fam.Name, labelString(s.Labels, "", ""), s.Count)
+			case KindQuantile:
+				for _, qp := range s.Quantiles {
+					fmt.Fprintf(&b, "%s%s %s\n", fam.Name, labelString(s.Labels, "quantile", formatValue(qp.P)), formatValue(qp.Value))
 				}
 				fmt.Fprintf(&b, "%s_sum%s %s\n", fam.Name, labelString(s.Labels, "", ""), formatValue(s.Value))
 				fmt.Fprintf(&b, "%s_count%s %d\n", fam.Name, labelString(s.Labels, "", ""), s.Count)

@@ -1,0 +1,219 @@
+package obs
+
+// Service-level objectives evaluated over a recorded Timeline. An SLO is
+// an objective ("p99 hand-off replan latency stays under 50 ms", "session
+// availability stays at or above 99.9%") plus a compliance target and a
+// rolling window; evaluation walks the timeline frames in the window,
+// classifies each as good or violating, and reports compliance and
+// error-budget burn — the fleet-scale chaos-run verdict the paper's
+// compute-as-a-service pitch needs to be checkable.
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// SLOKind selects how a frame is judged.
+type SLOKind string
+
+const (
+	// SLOLatency reads a quantile family and requires its Q-quantile
+	// estimate to stay at or below Objective.
+	SLOLatency SLOKind = "latency"
+	// SLORatio reads Metric / TotalMetric (gauge levels, or counter deltas
+	// per frame) and requires the ratio to stay at or above Objective.
+	SLORatio SLOKind = "ratio"
+)
+
+// SLO is one objective over the timeline.
+type SLO struct {
+	// Name labels the objective in reports.
+	Name string  `json:"name"`
+	Kind SLOKind `json:"kind"`
+	// Metric is the quantile family (latency) or numerator family (ratio);
+	// Labels optionally selects one labelled series of it.
+	Metric string            `json:"metric"`
+	Labels map[string]string `json:"labels,omitempty"`
+	// TotalMetric is the ratio denominator family (same labels rule).
+	TotalMetric string `json:"total_metric,omitempty"`
+	// Q is the latency quantile judged; it must be one of ExportQuantiles
+	// (default 0.99).
+	Q float64 `json:"q,omitempty"`
+	// Objective is the bound: an upper bound on the latency estimate, or a
+	// lower bound on the ratio.
+	Objective float64 `json:"objective"`
+	// Target is the compliance target over the window in (0,1] — the
+	// fraction of frames that must meet the objective (default 0.99). The
+	// error budget is 1-Target.
+	Target float64 `json:"target,omitempty"`
+	// WindowSec restricts evaluation to the trailing window of the
+	// timeline (0 = every recorded frame).
+	WindowSec float64 `json:"window_sec,omitempty"`
+}
+
+// SLOResult is the outcome of evaluating one SLO.
+type SLOResult struct {
+	SLO SLO `json:"slo"`
+	// Frames is how many timeline frames carried the metric inside the
+	// window; Violations how many of them broke the objective.
+	Frames     int `json:"frames"`
+	Violations int `json:"violations"`
+	// Compliance is the good fraction (1 when no frame carried the
+	// metric); Met reports Compliance >= Target.
+	Compliance float64 `json:"compliance"`
+	Met        bool    `json:"met"`
+	// BudgetBurn is the consumed error budget as a multiple of the
+	// allowance: (1-Compliance)/(1-Target). Over 1 means the objective is
+	// blown; with Target == 1 any violation burns +Inf.
+	BudgetBurn float64 `json:"budget_burn"`
+	// Worst is the worst frame value seen: the highest latency estimate,
+	// or the lowest ratio (NaN when Frames == 0).
+	Worst float64 `json:"worst"`
+}
+
+func (s SLO) withDefaults() SLO {
+	if s.Q == 0 {
+		s.Q = 0.99
+	}
+	if s.Target == 0 {
+		s.Target = 0.99
+	}
+	return s
+}
+
+// Eval judges the SLO over the frames (oldest first, as Timeline.Frames
+// returns them).
+func (s SLO) Eval(frames []Frame) SLOResult {
+	s = s.withDefaults()
+	res := SLOResult{SLO: s, Worst: math.NaN()}
+	cutoff := math.Inf(-1)
+	if s.WindowSec > 0 && len(frames) > 0 {
+		cutoff = frames[len(frames)-1].TSec - s.WindowSec
+	}
+	for _, fr := range frames {
+		if fr.TSec < cutoff {
+			continue
+		}
+		v, ok := s.frameValue(fr)
+		if !ok {
+			continue
+		}
+		res.Frames++
+		bad := false
+		switch s.Kind {
+		case SLORatio:
+			bad = v < s.Objective
+			if math.IsNaN(res.Worst) || v < res.Worst {
+				res.Worst = v
+			}
+		default: // SLOLatency
+			bad = v > s.Objective
+			if math.IsNaN(res.Worst) || v > res.Worst {
+				res.Worst = v
+			}
+		}
+		if bad {
+			res.Violations++
+		}
+	}
+	res.Compliance = 1
+	if res.Frames > 0 {
+		res.Compliance = 1 - float64(res.Violations)/float64(res.Frames)
+	}
+	res.Met = res.Compliance >= s.Target
+	budget := 1 - s.Target
+	switch {
+	case res.Violations == 0:
+		res.BudgetBurn = 0
+	case budget <= 0:
+		res.BudgetBurn = math.Inf(1)
+	default:
+		res.BudgetBurn = (1 - res.Compliance) / budget
+	}
+	return res
+}
+
+// frameValue extracts the judged value from one frame.
+func (s SLO) frameValue(fr Frame) (float64, bool) {
+	switch s.Kind {
+	case SLORatio:
+		num, okN := findPoint(fr, s.Metric, s.Labels)
+		den, okD := findPoint(fr, s.TotalMetric, s.Labels)
+		if !okN || !okD {
+			return 0, false
+		}
+		nv, dv := num.Value, den.Value
+		if dv == 0 {
+			return 0, false
+		}
+		return nv / dv, true
+	default:
+		p, ok := findPoint(fr, s.Metric, s.Labels)
+		if !ok || p.Kind != KindQuantile || len(p.Quantiles) == 0 {
+			return 0, false
+		}
+		for _, qp := range p.Quantiles {
+			if qp.P == s.Q {
+				return qp.Value, true
+			}
+		}
+		return 0, false
+	}
+}
+
+func findPoint(fr Frame, name string, labels map[string]string) (Point, bool) {
+	for _, p := range fr.Points {
+		if p.Name != name {
+			continue
+		}
+		match := true
+		for k, v := range labels {
+			if p.Labels[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			return p, true
+		}
+	}
+	return Point{}, false
+}
+
+// EvalSLOs evaluates each objective over the timeline's current frames.
+func EvalSLOs(tl *Timeline, slos ...SLO) []SLOResult {
+	frames := tl.Frames()
+	out := make([]SLOResult, len(slos))
+	for i, s := range slos {
+		out[i] = s.Eval(frames)
+	}
+	return out
+}
+
+// WriteSLOTable renders results as an aligned text report.
+func WriteSLOTable(w io.Writer, results []SLOResult) error {
+	if _, err := fmt.Fprintf(w, "%-34s %-8s %10s %10s %10s %8s\n",
+		"objective", "verdict", "compliance", "burn", "worst", "frames"); err != nil {
+		return err
+	}
+	for _, r := range results {
+		verdict := "MET"
+		if !r.Met {
+			verdict = "MISSED"
+		}
+		burn := fmt.Sprintf("%.2fx", r.BudgetBurn)
+		if math.IsInf(r.BudgetBurn, 1) {
+			burn = "inf"
+		}
+		worst := "—"
+		if !math.IsNaN(r.Worst) {
+			worst = fmtShort(r.Worst)
+		}
+		if _, err := fmt.Fprintf(w, "%-34s %-8s %9.2f%% %10s %10s %8d\n",
+			r.SLO.Name, verdict, 100*r.Compliance, burn, worst, r.Frames); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// latencyFrame builds one frame carrying a single quantile series whose p99
+// estimate is p99ms.
+func latencyFrame(t float64, name string, p99ms float64) Frame {
+	return Frame{TSec: t, Points: []Point{{
+		Name: name, Kind: KindQuantile, Value: 1,
+		Quantiles: []QuantilePoint{{P: 0.5, Value: p99ms / 2}, {P: 0.99, Value: p99ms}},
+	}}}
+}
+
+// ratioFrame builds one frame with numerator and denominator gauges.
+func ratioFrame(t, num, den float64) Frame {
+	return Frame{TSec: t, Points: []Point{
+		{Name: "assigned", Kind: KindGauge, Value: num},
+		{Name: "sessions", Kind: KindGauge, Value: den},
+	}}
+}
+
+func TestSLOLatency(t *testing.T) {
+	slo := SLO{Name: "p99 replan", Kind: SLOLatency, Metric: "replan_ms", Objective: 50, Target: 0.75}
+	frames := []Frame{
+		latencyFrame(60, "replan_ms", 10),
+		latencyFrame(120, "replan_ms", 40),
+		latencyFrame(180, "replan_ms", 90), // violation
+		latencyFrame(240, "replan_ms", 20),
+	}
+	res := slo.Eval(frames)
+	if res.Frames != 4 || res.Violations != 1 {
+		t.Fatalf("frames/violations = %d/%d, want 4/1", res.Frames, res.Violations)
+	}
+	if res.Compliance != 0.75 || !res.Met {
+		t.Errorf("compliance %g met=%v, want 0.75 met at target 0.75", res.Compliance, res.Met)
+	}
+	if res.BudgetBurn != 1 { // (1-0.75)/(1-0.75)
+		t.Errorf("burn = %g, want exactly the full budget (1)", res.BudgetBurn)
+	}
+	if res.Worst != 90 {
+		t.Errorf("worst = %g, want 90 (highest latency)", res.Worst)
+	}
+}
+
+func TestSLORatio(t *testing.T) {
+	slo := SLO{Name: "availability", Kind: SLORatio, Metric: "assigned",
+		TotalMetric: "sessions", Objective: 0.999, Target: 0.5}
+	frames := []Frame{
+		ratioFrame(60, 1000, 1000),
+		ratioFrame(120, 990, 1000), // violation: 0.99 < 0.999
+		ratioFrame(180, 0, 0),      // zero denominator: skipped
+	}
+	res := slo.Eval(frames)
+	if res.Frames != 2 || res.Violations != 1 {
+		t.Fatalf("frames/violations = %d/%d, want 2/1 (zero-den frame skipped)", res.Frames, res.Violations)
+	}
+	if res.Worst != 0.99 {
+		t.Errorf("worst = %g, want 0.99 (lowest ratio)", res.Worst)
+	}
+	if !res.Met {
+		t.Error("0.5 compliance should meet a 0.5 target")
+	}
+}
+
+func TestSLOWindow(t *testing.T) {
+	slo := SLO{Kind: SLOLatency, Metric: "m", Objective: 50, Target: 0.99, WindowSec: 100}
+	frames := []Frame{
+		latencyFrame(0, "m", 999), // outside the trailing 100s window
+		latencyFrame(150, "m", 10),
+		latencyFrame(200, "m", 10),
+	}
+	res := slo.Eval(frames)
+	if res.Frames != 2 || res.Violations != 0 {
+		t.Errorf("windowed frames/violations = %d/%d, want 2/0", res.Frames, res.Violations)
+	}
+}
+
+func TestSLOEmptyAndMissing(t *testing.T) {
+	slo := SLO{Kind: SLOLatency, Metric: "absent_ms", Objective: 1}
+	res := slo.Eval([]Frame{latencyFrame(60, "other_ms", 5)})
+	if res.Frames != 0 || res.Compliance != 1 || !res.Met || res.BudgetBurn != 0 {
+		t.Errorf("metric-less eval = %+v, want vacuous compliance", res)
+	}
+	if !math.IsNaN(res.Worst) {
+		t.Errorf("worst = %g, want NaN with no frames", res.Worst)
+	}
+}
+
+func TestSLOBurnInfiniteAtFullTarget(t *testing.T) {
+	slo := SLO{Kind: SLOLatency, Metric: "m", Objective: 50, Target: 1}
+	res := slo.Eval([]Frame{latencyFrame(60, "m", 100)})
+	if !math.IsInf(res.BudgetBurn, 1) {
+		t.Errorf("burn = %g, want +Inf (any violation with zero budget)", res.BudgetBurn)
+	}
+	if res.Met {
+		t.Error("violated SLO at target 1 reported as met")
+	}
+}
+
+func TestSLODefaultsAndLabels(t *testing.T) {
+	// Q and Target default to 0.99; label selectors must match.
+	fr := Frame{TSec: 60, Points: []Point{{
+		Name: "query_ms", Kind: KindQuantile, Labels: map[string]string{"kind": "path"},
+		Quantiles: []QuantilePoint{{P: 0.99, Value: 3}},
+	}}}
+	match := SLO{Kind: SLOLatency, Metric: "query_ms",
+		Labels: map[string]string{"kind": "path"}, Objective: 5}
+	if res := match.Eval([]Frame{fr}); res.Frames != 1 || res.Violations != 0 {
+		t.Errorf("label-matched eval = %+v", res)
+	}
+	miss := SLO{Kind: SLOLatency, Metric: "query_ms",
+		Labels: map[string]string{"kind": "sssp"}, Objective: 5}
+	if res := miss.Eval([]Frame{fr}); res.Frames != 0 {
+		t.Errorf("label-mismatched eval saw %d frames, want 0", res.Frames)
+	}
+}
+
+func TestEvalSLOsAndTable(t *testing.T) {
+	reg := NewRegistry()
+	q := reg.Quantile("replan_ms", "replan latency")
+	for i := 0; i < 100; i++ {
+		q.Observe(5)
+	}
+	tl := NewTimeline(reg, TimelineConfig{})
+	tl.Record(60)
+	tl.Record(120)
+
+	results := EvalSLOs(tl,
+		SLO{Name: "p99 replan <= 50ms", Kind: SLOLatency, Metric: "replan_ms", Objective: 50},
+		SLO{Name: "p99 replan <= 1ms", Kind: SLOLatency, Metric: "replan_ms", Objective: 1},
+	)
+	if len(results) != 2 || !results[0].Met || results[1].Met {
+		t.Fatalf("results = %+v, want first met and second missed", results)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteSLOTable(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"objective", "MET", "MISSED", "100.00%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -1,25 +1,36 @@
 package obs
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
-	"strings"
 	"sync"
 	"time"
 )
 
-// Tracer records parent/child spans against an injectable clock. A nil
-// *Tracer is a valid no-op: every method (and every method of the nil
-// *Span it hands out) does nothing, so instrumented code never needs nil
-// checks on its hot path.
+// DefaultSpanLimit bounds the finished spans a Tracer retains unless
+// SetLimit overrides it. Once full, each new span evicts the oldest —
+// multi-hour runs keep the freshest window instead of growing without
+// bound.
+const DefaultSpanLimit = 1 << 18
+
+// Tracer records parent/child spans against an injectable clock into a
+// bounded ring. A nil *Tracer is a valid no-op: every method (and every
+// method of the nil *Span it hands out) does nothing, so instrumented code
+// never needs nil checks on its hot path.
 type Tracer struct {
 	now func() float64 // seconds; wall or simulated
 
 	mu       sync.Mutex
 	nextID   uint64
-	finished []SpanRecord
+	limit    int
+	finished []SpanRecord // circular once len == limit; oldest at head
+	head     int
+	dropped  uint64
+
+	droppedCtr *Counter // optional: spans_dropped_total on a registry
 }
 
 // SpanRecord is one completed span.
@@ -43,7 +54,49 @@ func NewTracer(clock func() float64) *Tracer {
 		epoch := time.Now()
 		clock = func() float64 { return time.Since(epoch).Seconds() }
 	}
-	return &Tracer{now: clock}
+	return &Tracer{now: clock, limit: DefaultSpanLimit}
+}
+
+// SetLimit caps the retained finished spans at n (minimum 1), keeping the
+// newest spans if the ring already holds more.
+func (t *Tracer) SetLimit(n int) {
+	if t == nil {
+		return
+	}
+	if n < 1 {
+		n = 1
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n < len(t.finished) {
+		recs := t.orderedLocked()
+		t.finished = recs[len(recs)-n:]
+		t.head = 0
+	}
+	t.limit = n
+}
+
+// Dropped returns how many finished spans the ring has evicted.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Instrument registers spans_dropped_total on reg and wires ring evictions
+// into it, so long-running daemons can alert on trace loss.
+func (t *Tracer) Instrument(reg *Registry) {
+	if t == nil || reg == nil {
+		return
+	}
+	c := reg.Counter("spans_dropped_total",
+		"Finished spans evicted from the tracer ring (oldest-first) after it filled.")
+	t.mu.Lock()
+	t.droppedCtr = c
+	t.mu.Unlock()
 }
 
 // Span is an in-flight span. Create via Tracer.Start or Span.Child; finish
@@ -113,23 +166,48 @@ func (s *Span) End() float64 {
 	s.mu.Unlock()
 
 	rec := SpanRecord{ID: s.id, Parent: s.parent, Name: s.name, Start: s.start, End: end, Attrs: attrs}
-	s.t.mu.Lock()
-	s.t.finished = append(s.t.finished, rec)
-	s.t.mu.Unlock()
+	t := s.t
+	var droppedCtr *Counter
+	t.mu.Lock()
+	if len(t.finished) < t.limit {
+		t.finished = append(t.finished, rec)
+	} else {
+		t.finished[t.head] = rec
+		t.head = (t.head + 1) % len(t.finished)
+		t.dropped++
+		droppedCtr = t.droppedCtr
+	}
+	t.mu.Unlock()
+	if droppedCtr != nil {
+		droppedCtr.Inc()
+	}
 	return rec.Duration()
 }
 
-// Records returns a copy of all finished spans in completion order.
+// orderedLocked returns the ring contents in completion order; caller
+// holds t.mu.
+func (t *Tracer) orderedLocked() []SpanRecord {
+	out := make([]SpanRecord, 0, len(t.finished))
+	out = append(out, t.finished[t.head:]...)
+	out = append(out, t.finished[:t.head]...)
+	return out
+}
+
+// Records returns a copy of the retained finished spans in completion
+// order (oldest evicted first once the ring wraps).
 func (t *Tracer) Records() []SpanRecord {
 	if t == nil {
 		return nil
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return append([]SpanRecord(nil), t.finished...)
+	if len(t.finished) == 0 {
+		return nil
+	}
+	return t.orderedLocked()
 }
 
-// Len returns the number of finished spans.
+// Len returns the number of retained finished spans.
 func (t *Tracer) Len() int {
 	if t == nil {
 		return 0
@@ -141,8 +219,10 @@ func (t *Tracer) Len() int {
 
 // WriteChromeTrace exports finished spans as Chrome trace-event JSON, one
 // complete ("ph":"X") event per line inside a JSON array, so the output is
-// both line-greppable and loadable in about://tracing / Perfetto.
-// Timestamps are the tracer clock scaled to microseconds.
+// both line-greppable and loadable in about://tracing / Perfetto. Events
+// stream to w as they are encoded — memory stays O(1) in the trace size
+// beyond the span records themselves. Timestamps are the tracer clock
+// scaled to microseconds.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	if t == nil {
 		_, err := io.WriteString(w, "[]\n")
@@ -150,8 +230,10 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	}
 	recs := t.Records()
 	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Start < recs[j].Start })
-	var b strings.Builder
-	b.WriteString("[\n")
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("[\n"); err != nil {
+		return err
+	}
 	for i, r := range recs {
 		args := map[string]string{"span_id": fmt.Sprint(r.ID)}
 		if r.Parent != 0 {
@@ -173,13 +255,20 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		b.Write(line)
-		if i < len(recs)-1 {
-			b.WriteByte(',')
+		if _, err := bw.Write(line); err != nil {
+			return err
 		}
-		b.WriteByte('\n')
+		if i < len(recs)-1 {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
 	}
-	b.WriteString("]\n")
-	_, err := io.WriteString(w, b.String())
-	return err
+	if _, err := bw.WriteString("]\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
 }
