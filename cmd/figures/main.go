@@ -31,7 +31,7 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 1..7, feasibility, eo, ablation, weather, matchmaking, churn, capacity, edgeload, power, cdnlat, all")
+		fig      = flag.String("fig", "all", "figure to regenerate: 1..7, feasibility, eo, ablation, weather, matchmaking, churn, capacity, edgeload, power, cdnlat, servepolicy, all")
 		out      = flag.String("out", "results", "output directory for CSV files")
 		fast     = flag.Bool("fast", false, "reduced sampling for quick runs")
 		traceOut = flag.String("trace", "", "write a Chrome trace-event file of the run (open in about://tracing)")
@@ -75,8 +75,9 @@ func main() {
 		"edgeload":    r.edgeload,
 		"power":       r.power,
 		"cdnlat":      r.cdnlat,
+		"servepolicy": r.servepolicy,
 	}
-	order := []string{"1", "2", "3", "4", "5", "6", "feasibility", "eo", "ablation", "weather", "matchmaking", "churn", "capacity", "edgeload", "power", "cdnlat"}
+	order := []string{"1", "2", "3", "4", "5", "6", "feasibility", "eo", "ablation", "weather", "matchmaking", "churn", "capacity", "edgeload", "power", "cdnlat", "servepolicy"}
 
 	var names []string
 	switch *fig {
@@ -631,4 +632,52 @@ func (r runner) cdnlat() error {
 		})
 	}
 	return plot.Table(os.Stdout, []string{"edge", "p50", "p95", "max", ">100 ms cities"}, table)
+}
+
+func (r runner) servepolicy() error {
+	fmt.Println("== Extension: request-routing policies vs offered load (12 cities, 2-core servers) ==")
+	rates := []float64{250, 1000, 4000}
+	if r.fast {
+		rates = []float64{250, 4000}
+	}
+	rows, err := experiments.ServePolicyStudy(rates)
+	if err != nil {
+		return err
+	}
+	var table [][]string
+	perPolicy := map[string]*struct{ p99, shed, util []float64 }{}
+	var policyOrder []string
+	for _, row := range rows {
+		table = append(table, []string{
+			row.Policy,
+			fmt.Sprintf("%.0f/s", row.RatePerSec),
+			fmt.Sprintf("%.1f ms", row.P50Ms),
+			fmt.Sprintf("%.1f ms", row.P99Ms),
+			fmt.Sprintf("%.1f%%", row.ShedPct),
+			fmt.Sprintf("%d", row.SatsUsed),
+			fmt.Sprintf("%.0f%%", row.MaxUtilPct),
+		})
+		s, ok := perPolicy[row.Policy]
+		if !ok {
+			s = &struct{ p99, shed, util []float64 }{}
+			perPolicy[row.Policy] = s
+			policyOrder = append(policyOrder, row.Policy)
+		}
+		s.p99 = append(s.p99, row.P99Ms)
+		s.shed = append(s.shed, row.ShedPct)
+		s.util = append(s.util, row.MaxUtilPct)
+	}
+	var series []plot.Series
+	for _, name := range policyOrder {
+		s := perPolicy[name]
+		series = append(series,
+			plot.Series{Name: name + "_p99_ms", X: rates, Y: s.p99},
+			plot.Series{Name: name + "_shed_pct", X: rates, Y: s.shed},
+			plot.Series{Name: name + "_max_util_pct", X: rates, Y: s.util},
+		)
+	}
+	if err := r.writeCSV("fig_serve_policies.csv", false, series...); err != nil {
+		return err
+	}
+	return plot.Table(os.Stdout, []string{"policy", "offered", "p50", "p99", "shed", "sats", "busiest"}, table)
 }

@@ -9,6 +9,13 @@
 //	fleetsim -name starlink -sessions 100000 -hours 2
 //	fleetsim -sessions 5000 -hours 0.5 -csv fleet.csv -debug 127.0.0.1:8090
 //	fleetsim -sessions 5000 -hours 2 -fault-seed 7 -sat-mtbf 100 -isl-flap 0.5
+//	fleetsim -sessions 5000 -hours 1 -serve-rate 2000 -serve-policy all
+//
+// With -serve-rate (or -serve-replay) set, the request-serving layer
+// (internal/serve) drives a city-weighted request load against the
+// constellation alongside the session control plane, comparing routing
+// policies and reporting p50/p99 end-to-end request latency, shedding by
+// reason, and per-satellite utilization in a final serve report.
 //
 // With -sat-mtbf, -isl-flap, or -mig-fail set, a seeded chaos layer
 // (internal/faults) injects satellite hard failures, ISL degradation
@@ -72,6 +79,8 @@ type options struct {
 	satMTTRSec float64 // mean recovery time (negative = permanent)
 	islFlapHr  float64 // per-pair ISL degradation windows per hour
 	migFail    float64 // per-attempt migration transfer failure probability
+
+	serve serveOptions // -serve-* request-serving layer
 }
 
 // chaosEnabled reports whether any fault channel is active.
@@ -109,6 +118,18 @@ func parseFlags(args []string) (options, error) {
 	fs.Float64Var(&o.satMTTRSec, "sat-mttr", 0, "mean seconds to recover a failed satellite (0 = default 1800, negative = never)")
 	fs.Float64Var(&o.islFlapHr, "isl-flap", 0, "per-satellite-pair ISL degradation windows per hour (0 = off)")
 	fs.Float64Var(&o.migFail, "mig-fail", 0, "probability a migration transfer attempt fails in flight, in [0,1)")
+	fs.Float64Var(&o.serve.rate, "serve-rate", 0, "request arrivals per second across all serve sites (0 = serving layer off)")
+	fs.StringVar(&o.serve.policy, "serve-policy", "all", "request routing policy: nearest, least-loaded, sticky, or all (compare)")
+	fs.IntVar(&o.serve.sites, "serve-sites", 40, "request sites = the N most populous cities")
+	fs.Float64Var(&o.serve.serviceMs, "serve-service-ms", 20, "median request service time on one core in ms (lognormal)")
+	fs.Float64Var(&o.serve.sigma, "serve-sigma", 0.5, "lognormal shape of the service-time distribution")
+	fs.Float64Var(&o.serve.diurnal, "serve-diurnal", 0.6, "diurnal arrival-rate amplitude in [0,1) around the local evening peak")
+	fs.IntVar(&o.serve.cores, "serve-cores", 8, "request-serving cores per satellite")
+	fs.IntVar(&o.serve.queue, "serve-queue", 64, "per-satellite queue bound beyond the cores (-1 = unbounded)")
+	fs.Int64Var(&o.serve.seed, "serve-seed", 1, "request workload seed (independent of the fleet seed)")
+	fs.StringVar(&o.serve.tracePath, "serve-trace", "", "write the request trace as JSONL (empty = off)")
+	fs.StringVar(&o.serve.replay, "serve-replay", "", "replay a JSONL request trace instead of generating one")
+	fs.Float64Var(&o.serve.availSLO, "slo-serve-avail", 0.99, "SLO: served/offered request availability floor per policy, in (0,1]")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -138,6 +159,9 @@ func parseFlags(args []string) (options, error) {
 	}
 	if o.sloAvail <= 0 || o.sloAvail > 1 {
 		return o, fmt.Errorf("slo-avail %v outside (0,1]", o.sloAvail)
+	}
+	if err := o.serve.validate(); err != nil {
+		return o, err
 	}
 	return o, nil
 }
@@ -251,6 +275,16 @@ func run(out io.Writer, o options) error {
 		tl = obs.NewTimeline(reg, obs.TimelineConfig{CadenceSec: cadence, Capacity: o.timelineCap})
 	}
 
+	horizonSec := o.hours * 3600
+	var sr *serveRun
+	if o.serve.enabled() {
+		sr, err = newServeRun(o, c, reg, orch.Ephemeris(), horizonSec, out)
+		if err != nil {
+			return err
+		}
+		slos = append(slos, sr.slos(o.serve.availSLO)...)
+	}
+
 	if o.debug != "" {
 		ln, err := net.Listen("tcp", o.debug)
 		if err != nil {
@@ -266,7 +300,6 @@ func run(out io.Writer, o options) error {
 		log.Printf("fleetsim: debug endpoint on http://%s/metrics", ln.Addr())
 	}
 
-	horizonSec := o.hours * 3600
 	persistent, churn, err := buildWorkload(o, horizonSec)
 	if err != nil {
 		return err
@@ -334,6 +367,9 @@ func run(out io.Writer, o options) error {
 			log.Printf("t=%6.0fs sessions=%d assigned=%d handoffs=%d rejected=%d wall=%.2fs",
 				rep.TSec, rep.Sessions, rep.Assigned, rep.Handoffs, rep.Rejections, rep.WallSec)
 		}
+		if sr != nil {
+			sr.advance(orch.Now())
+		}
 		if tl != nil {
 			tl.MaybeRecord(orch.Now())
 		}
@@ -380,7 +416,7 @@ func run(out io.Writer, o options) error {
 		}
 	}
 
-	return report(out, orch, reportInputs{
+	if err := report(out, orch, reportInputs{
 		epochs:       epochs,
 		horizonSec:   horizonSec,
 		peakSessions: peakSessions,
@@ -394,7 +430,15 @@ func run(out io.Writer, o options) error {
 		chaos:        chaos,
 		tl:           tl,
 		slos:         slos,
-	})
+	}); err != nil {
+		return err
+	}
+	// The serve report prints last: it contains only simulated quantities,
+	// so `sed -n '/^serve report/,$p'` of two same-seed runs is diffable.
+	if sr != nil {
+		return serveReport(out, sr)
+	}
+	return nil
 }
 
 // exportTimeline writes the recorded frames to the requested files.

@@ -14,6 +14,7 @@ import (
 	"repro/internal/constellation"
 	"repro/internal/geo"
 	"repro/internal/netsim"
+	"repro/internal/serve"
 	"repro/internal/stats"
 	"repro/internal/units"
 	"repro/internal/visibility"
@@ -40,7 +41,9 @@ func (w Workload) Validate() error {
 	return nil
 }
 
-// Policy selects which visible satellite serves a request.
+// Policy selects which visible satellite serves a request. The selection
+// logic itself lives in internal/serve; these values are thin adapters over
+// the shared routing-policy interface.
 type Policy int
 
 const (
@@ -58,6 +61,14 @@ func (p Policy) String() string {
 		return "nearest"
 	}
 	return "least-busy"
+}
+
+// shared returns the internal/serve policy this value adapts.
+func (p Policy) shared() serve.Policy {
+	if p == LeastBusy {
+		return serve.LeastLoaded()
+	}
+	return serve.Nearest()
 }
 
 // Config assembles a simulation.
@@ -155,25 +166,27 @@ func Run(c *constellation.Constellation, cfg Config, w Workload) (Result, error)
 			}
 		}
 	}
+	// Candidates for the shared policy, ordered by ascending propagation
+	// (passes are slant-sorted above); only the load fields change per
+	// arrival.
+	policy := cfg.Policy.shared()
+	cands := make([]serve.Candidate, len(passes))
+	for i, p := range passes {
+		cands[i] = serve.Candidate{SatID: p.SatID, OneWayMs: units.PropagationDelayMs(p.SlantKm)}
+	}
+
 	arrive = func() {
 		start := sim.Now()
-		// Choose the server.
-		idx := 0
-		if cfg.Policy == LeastBusy {
-			best := math.Inf(1)
-			for i := range servers {
-				// Earliest predicted completion including propagation.
-				_, free := freeAt(i)
-				eta := math.Max(free, start) + units.PropagationDelayMs(passes[i].SlantKm)/1000
-				if eta < best {
-					best = eta
-					idx = i
-				}
-			}
+		for i := range cands {
+			_, cands[i].FreeAtSec = freeAt(i)
+		}
+		idx := policy.Pick(start, -1, cands)
+		if idx < 0 {
+			panic("edgesim: policy refused a non-empty candidate set")
 		}
 		p := passes[idx]
 		used[p.SatID] = true
-		oneWay := units.PropagationDelayMs(p.SlantKm) / 1000 // seconds
+		oneWay := cands[idx].OneWayMs / 1000 // seconds
 
 		// The request reaches the satellite after the uplink delay, then
 		// queues for CPU; the response rides back down.

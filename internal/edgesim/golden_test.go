@@ -1,0 +1,70 @@
+package edgesim
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/plot"
+)
+
+// The load-sweep outputs below were captured before the routing policies
+// were rebased onto the shared internal/serve interface. They pin the
+// simulation byte-for-byte: any refactor of the policy plumbing must keep
+// every float in the sweep identical per seed.
+const (
+	goldenNearest = `x,p50_ms,p99_ms,servers,max_util
+20,14.4731,14.4731,1,0.0235
+200,14.4731,14.4731,1,0.2513
+2000,22342.8804,44018.4671,1,0.9999
+`
+	goldenLeastBusy = `x,p50_ms,p99_ms,servers,max_util
+20,14.4731,14.4731,1,0.0235
+200,14.4731,14.4731,1,0.2513
+2000,16.9630,27.0631,5,0.9530
+`
+)
+
+func sweepCSV(t *testing.T, p Policy) string {
+	t.Helper()
+	c := testConst(t)
+	cfg := baseCfg()
+	cfg.Policy = p
+	rates := []float64{20, 200, 2000}
+	rows, err := LoadSweep(c, cfg, Workload{ServiceSec: 0.01, Seed: 3}, rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p50 := make([]float64, len(rows))
+	p99 := make([]float64, len(rows))
+	servers := make([]float64, len(rows))
+	util := make([]float64, len(rows))
+	for i, r := range rows {
+		p50[i] = r.P50Ms
+		p99[i] = r.P99Ms
+		servers[i] = float64(r.ServersUsed)
+		util[i] = r.MaxUtilization
+	}
+	var buf bytes.Buffer
+	err = plot.WriteCSV(&buf,
+		plot.Series{Name: "p50_ms", X: rates, Y: p50},
+		plot.Series{Name: "p99_ms", X: rates, Y: p99},
+		plot.Series{Name: "servers", X: rates, Y: servers},
+		plot.Series{Name: "max_util", X: rates, Y: util},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestLoadSweepGoldenNearest(t *testing.T) {
+	if got := sweepCSV(t, Nearest); got != goldenNearest {
+		t.Fatalf("nearest sweep drifted from golden:\n got:\n%s\nwant:\n%s", got, goldenNearest)
+	}
+}
+
+func TestLoadSweepGoldenLeastBusy(t *testing.T) {
+	if got := sweepCSV(t, LeastBusy); got != goldenLeastBusy {
+		t.Fatalf("least-busy sweep drifted from golden:\n got:\n%s\nwant:\n%s", got, goldenLeastBusy)
+	}
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/compute"
+	"repro/internal/serve"
+)
+
+// ServePolicyRow is one (routing policy, offered load) point of the
+// constellation-wide request-serving study.
+type ServePolicyRow struct {
+	Policy       string
+	RatePerSec   float64
+	P50Ms, P99Ms float64
+	// ShedPct is the fraction of offered requests rejected at admission.
+	ShedPct float64
+	// SatsUsed counts satellites that served at least one request.
+	SatsUsed int
+	// MeanUtilPct / MaxUtilPct summarise utilisation over the satellites
+	// that served traffic.
+	MeanUtilPct, MaxUtilPct float64
+}
+
+// serveStudySeed fixes the request trace for the policy study.
+const serveStudySeed = 17
+
+// ServePolicyStudy runs the constellation-wide serving layer at increasing
+// offered load, comparing every built-in routing policy on the same
+// city-weighted diurnal request trace: the latency / utilization / shedding
+// trade the paper's serverless pitch rests on. Small satellite-servers
+// (2 request cores) keep the saturation point inside the swept range.
+func ServePolicyStudy(rates []float64) ([]ServePolicyRow, error) {
+	set := ConstellationSet{Starlink: true}
+	consts, err := set.build()
+	if err != nil {
+		return nil, err
+	}
+	c := consts[0]
+	eng := engineFor(c)
+	sites := serve.SitesFromCities(12)
+	if len(rates) == 0 {
+		rates = []float64{250, 1000, 4000}
+	}
+	const horizonSec = 120
+	server := compute.DefaultServerSpec()
+	server.Cores = 2
+
+	var out []ServePolicyRow
+	for _, rate := range rates {
+		reqs, err := serve.Generate(sites, serve.Workload{
+			Seed:             serveStudySeed,
+			RatePerSec:       rate,
+			ServiceMedianMs:  20,
+			DiurnalAmplitude: 0.6,
+		}, horizonSec)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range serve.Policies() {
+			e, err := serve.NewEngine(c, serve.Config{
+				Sites:      sites,
+				Policy:     p,
+				Server:     server,
+				QueueCap:   16,
+				RefreshSec: 30,
+				Ephem:      eng,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if err := e.Feed(reqs); err != nil {
+				return nil, err
+			}
+			// Run past the horizon so tail requests drain.
+			e.RunUntil(horizonSec + 30)
+			r := e.Result()
+			if r.Offered == 0 {
+				return nil, fmt.Errorf("experiments: serve study offered no requests at rate %v", rate)
+			}
+			row := ServePolicyRow{
+				Policy:     r.Policy,
+				RatePerSec: rate,
+				ShedPct:    100 * float64(r.ShedTotal()) / float64(r.Offered),
+				SatsUsed:   r.SatsUsed,
+			}
+			if r.LatencyMs.N() > 0 {
+				row.P50Ms = r.LatencyMs.Median()
+				row.P99Ms = r.LatencyMs.Quantile(0.99)
+			}
+			sum, max := 0.0, 0.0
+			for _, u := range r.Utilization {
+				if u <= 0 {
+					continue
+				}
+				sum += u
+				if u > max {
+					max = u
+				}
+			}
+			if r.SatsUsed > 0 {
+				row.MeanUtilPct = 100 * sum / float64(r.SatsUsed)
+			}
+			row.MaxUtilPct = 100 * max
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import "testing"
+
+func TestServePolicyStudy(t *testing.T) {
+	rows, err := ServePolicyStudy([]float64{300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want one per policy", len(rows))
+	}
+	seen := map[string]bool{}
+	for _, r := range rows {
+		seen[r.Policy] = true
+		if r.RatePerSec != 300 {
+			t.Fatalf("row rate %v", r.RatePerSec)
+		}
+		if r.P50Ms <= 0 || r.P99Ms < r.P50Ms {
+			t.Fatalf("bad latency quantiles: %+v", r)
+		}
+		if r.ShedPct < 0 || r.ShedPct > 100 {
+			t.Fatalf("shed pct %v out of range", r.ShedPct)
+		}
+		if r.SatsUsed <= 0 || r.MaxUtilPct <= 0 {
+			t.Fatalf("no load reached the satellites: %+v", r)
+		}
+	}
+	for _, name := range []string{"nearest", "least-loaded", "sticky"} {
+		if !seen[name] {
+			t.Fatalf("policy %s missing from study", name)
+		}
+	}
+}
+
+func TestServePolicyStudyDeterministic(t *testing.T) {
+	a, err := ServePolicyStudy([]float64{200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ServePolicyStudy([]float64{200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs across runs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkEventHeap measures kernel scheduling throughput: push a batch of
+// randomly-timed events, then drain them all, the push/pop mix every
+// simulation on the kernel pays for.
+func BenchmarkEventHeap(b *testing.B) {
+	const batch = 4096
+	times := make([]float64, batch)
+	r := rand.New(rand.NewSource(1))
+	for i := range times {
+		times[i] = r.Float64() * 1000
+	}
+	fired := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := New()
+		for _, t := range times {
+			if _, err := s.At(t, func() { fired++ }); err != nil {
+				b.Fatal(err)
+			}
+		}
+		s.RunAll()
+	}
+	b.StopTimer()
+	if fired != b.N*batch {
+		b.Fatalf("fired %d events, want %d", fired, b.N*batch)
+	}
+	b.ReportMetric(float64(fired)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkEventHeapInterleaved stresses the steady-state pattern where
+// each fired event schedules its successor (deep chains, shallow heap).
+func BenchmarkEventHeapInterleaved(b *testing.B) {
+	const chains = 64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := New()
+		var hop func(c int) func()
+		hop = func(c int) func() {
+			return func() {
+				if s.Now() < 1000 {
+					if _, err := s.After(float64(c+1), hop(c)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+		for c := 0; c < chains; c++ {
+			if _, err := s.At(0, hop(c)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		s.RunAll()
+	}
+}

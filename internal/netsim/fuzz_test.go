@@ -1,0 +1,58 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzEventOrder feeds the kernel arbitrary (possibly equal, possibly
+// denormal) event times and asserts the determinism contract: events fire
+// in non-decreasing time, and events with equal timestamps fire in the
+// order they were scheduled (seq tie-break).
+func FuzzEventOrder(f *testing.F) {
+	f.Add(1.0, 1.0, 1.0, 2.0, uint8(4))
+	f.Add(0.0, 0.0, 0.0, 0.0, uint8(8))
+	f.Add(5.0, 3.0, 3.0, 1.0, uint8(6))
+	f.Add(0.25, 0.25, 0.75, 0.25, uint8(12))
+	f.Fuzz(func(t *testing.T, a, b, c, d float64, n uint8) {
+		raw := []float64{a, b, c, d}
+		times := make([]float64, 0, int(n)+len(raw))
+		for i := 0; i < int(n)+len(raw); i++ {
+			v := raw[i%len(raw)]
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				v = 0
+			}
+			times = append(times, v)
+		}
+
+		s := New()
+		type fire struct {
+			schedOrder int
+			time       float64
+		}
+		var fired []fire
+		for i, tm := range times {
+			i, tm := i, tm
+			if _, err := s.At(tm, func() {
+				fired = append(fired, fire{schedOrder: i, time: tm})
+			}); err != nil {
+				t.Fatalf("At(%v): %v", tm, err)
+			}
+		}
+		s.RunAll()
+
+		if len(fired) != len(times) {
+			t.Fatalf("fired %d of %d events", len(fired), len(times))
+		}
+		for i := 1; i < len(fired); i++ {
+			prev, cur := fired[i-1], fired[i]
+			if cur.time < prev.time {
+				t.Fatalf("time went backwards: %v after %v", cur.time, prev.time)
+			}
+			if cur.time == prev.time && cur.schedOrder < prev.schedOrder {
+				t.Fatalf("equal-time events fired out of schedule order: %d before %d at t=%v",
+					prev.schedOrder, cur.schedOrder, cur.time)
+			}
+		}
+	})
+}

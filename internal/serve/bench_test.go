@@ -1,0 +1,43 @@
+package serve
+
+import (
+	"testing"
+
+	"repro/internal/compute"
+)
+
+// benchServe drives one policy over a fixed 2-minute trace and reports
+// wall-clock request throughput plus the simulated p99 latency — the pair
+// CI records into BENCH_serve.json.
+func benchServe(b *testing.B, p Policy) {
+	c := testConst(b)
+	sites := SitesFromCities(12)
+	reqs, err := Generate(sites, Workload{Seed: 5, RatePerSec: 400, ServiceMedianMs: 10, DiurnalAmplitude: 0.3}, 120)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := compute.ServerSpec{Cores: 8, MemoryGB: 64, PowerCapFraction: 1}
+	var last Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng, err := NewEngine(c, Config{Sites: sites, Policy: p, Server: srv, RefreshSec: 30})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := eng.Feed(reqs); err != nil {
+			b.Fatal(err)
+		}
+		eng.RunUntil(150)
+		last = eng.Result()
+	}
+	b.StopTimer()
+	if last.Served == 0 {
+		b.Fatal("benchmark served no requests")
+	}
+	b.ReportMetric(float64(last.Offered*b.N)/b.Elapsed().Seconds(), "req/s")
+	b.ReportMetric(last.LatencyMs.Quantile(0.99), "p99-ms")
+}
+
+func BenchmarkServeNearest(b *testing.B)     { benchServe(b, Nearest()) }
+func BenchmarkServeLeastLoaded(b *testing.B) { benchServe(b, LeastLoaded()) }
+func BenchmarkServeSticky(b *testing.B)      { benchServe(b, Sticky(0)) }

@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteTrace serialises a request trace as JSON Lines — one Request object
+// per line — the interchange format for replaying a workload across runs
+// or feeding externally captured traces into the engine.
+func WriteTrace(w io.Writer, reqs []Request) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range reqs {
+		if err := enc.Encode(&reqs[i]); err != nil {
+			return fmt.Errorf("serve: write trace line %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a JSONL request trace written by WriteTrace (blank lines
+// are skipped). It validates each record; arrival ordering is not required
+// here — the engine sorts on Feed.
+func ReadTrace(r io.Reader) ([]Request, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var out []Request
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var req Request
+		if err := json.Unmarshal(b, &req); err != nil {
+			return nil, fmt.Errorf("serve: trace line %d: %w", line, err)
+		}
+		if err := req.Validate(); err != nil {
+			return nil, fmt.Errorf("serve: trace line %d: %w", line, err)
+		}
+		out = append(out, req)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("serve: read trace: %w", err)
+	}
+	return out, nil
+}
+
+// Validate reports whether the request is well-formed (site bounds are
+// checked against the engine's site list at Feed time).
+func (r Request) Validate() error {
+	if r.TSec < 0 {
+		return fmt.Errorf("request arrival %v before t=0", r.TSec)
+	}
+	if r.Site < 0 {
+		return fmt.Errorf("request site %d negative", r.Site)
+	}
+	if r.ServiceMs <= 0 {
+		return fmt.Errorf("request service time %v ms must be positive", r.ServiceMs)
+	}
+	return nil
+}

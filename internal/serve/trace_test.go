@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	w := Workload{Seed: 5, RatePerSec: 40, ServiceMedianMs: 8}
+	sites := []Site{{Name: "gw", Loc: geo.LatLon{LatDeg: 1, LonDeg: 2}, Weight: 1}}
+	orig, err := Generate(sites, w, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(orig) {
+		t.Fatalf("round trip lost requests: %d vs %d", len(got), len(orig))
+	}
+	for i := range got {
+		if got[i] != orig[i] {
+			t.Fatalf("request %d changed: %+v vs %+v", i, got[i], orig[i])
+		}
+	}
+}
+
+func TestReadTraceSkipsBlankLines(t *testing.T) {
+	in := "{\"t_sec\":1,\"site\":0,\"service_ms\":5}\n\n{\"t_sec\":2,\"site\":1,\"service_ms\":6}\n"
+	got, err := ReadTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1].Site != 1 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestReadTraceRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"not json\n",
+		"{\"t_sec\":-1,\"site\":0,\"service_ms\":5}\n", // negative arrival
+		"{\"t_sec\":1,\"site\":-2,\"service_ms\":5}\n", // negative site
+		"{\"t_sec\":1,\"site\":0,\"service_ms\":0}\n",  // zero service
+		"{\"t_sec\":1,\"site\":0,\"service_ms\":-3}\n", // negative service
+	}
+	for _, in := range cases {
+		if _, err := ReadTrace(strings.NewReader(in)); err == nil {
+			t.Fatalf("accepted %q", in)
+		}
+	}
+}

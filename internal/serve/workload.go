@@ -1,0 +1,183 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/cities"
+	"repro/internal/geo"
+)
+
+// Site is one request-originating ground location.
+type Site struct {
+	// Name labels the site in traces and reports.
+	Name string
+	// Loc is the site's location; ECEF its surface vector.
+	Loc  geo.LatLon
+	ECEF geo.Vec3
+	// Weight is the site's share of the aggregate arrival rate (any
+	// positive scale; the generator normalises).
+	Weight float64
+}
+
+// SitesFromCities builds request sites at the n largest population centers,
+// weighted by metro population — the same city list behind Figures 4/5, so
+// the request load lands where the paper's users are.
+func SitesFromCities(n int) []Site {
+	cs := cities.TopN(n)
+	out := make([]Site, len(cs))
+	for i, c := range cs {
+		out[i] = Site{
+			Name:   c.Name,
+			Loc:    c.Loc,
+			ECEF:   c.Loc.ECEF(),
+			Weight: float64(c.Population),
+		}
+	}
+	return out
+}
+
+// Workload describes the synthetic request stream over a set of sites.
+// Arrivals are a per-site Poisson process modulated by a diurnal curve in
+// local solar time; service times are log-normal (heavy-tailed, like real
+// request mixes). Everything is drawn from Seed: the same (sites, workload,
+// horizon) triple reproduces the same request trace bit-for-bit.
+type Workload struct {
+	// Seed fixes every draw.
+	Seed int64
+	// RatePerSec is the aggregate mean arrival rate across all sites
+	// (site i receives the Weight-proportional share).
+	RatePerSec float64
+	// ServiceMedianMs is the log-normal median service time on one core.
+	ServiceMedianMs float64
+	// ServiceSigma is the log-normal shape (default 0.5; larger = heavier
+	// tail).
+	ServiceSigma float64
+	// DiurnalAmplitude in [0,1) swings each site's rate by ±amplitude
+	// around its mean over the local solar day (0 = flat). The mean rate
+	// is preserved.
+	DiurnalAmplitude float64
+	// PeakLocalHour is the local solar hour of peak demand (default 20,
+	// the evening peak of interactive services).
+	PeakLocalHour float64
+}
+
+func (w Workload) withDefaults() Workload {
+	if w.ServiceSigma == 0 {
+		w.ServiceSigma = 0.5
+	}
+	if w.PeakLocalHour == 0 {
+		w.PeakLocalHour = 20
+	}
+	return w
+}
+
+// Validate reports whether the workload is usable.
+func (w Workload) Validate() error {
+	if w.RatePerSec <= 0 {
+		return fmt.Errorf("serve: arrival rate %v must be positive", w.RatePerSec)
+	}
+	if w.ServiceMedianMs <= 0 {
+		return fmt.Errorf("serve: service median %v ms must be positive", w.ServiceMedianMs)
+	}
+	if w.ServiceSigma < 0 {
+		return fmt.Errorf("serve: service sigma %v must be non-negative", w.ServiceSigma)
+	}
+	if w.DiurnalAmplitude < 0 || w.DiurnalAmplitude >= 1 {
+		return fmt.Errorf("serve: diurnal amplitude %v outside [0,1)", w.DiurnalAmplitude)
+	}
+	return nil
+}
+
+// Request is one request in a workload trace: arrival time, originating
+// site index, and the CPU time it needs on one core.
+type Request struct {
+	TSec      float64 `json:"t_sec"`
+	Site      int     `json:"site"`
+	ServiceMs float64 `json:"service_ms"`
+}
+
+// localHour returns the local solar hour of day at a longitude.
+func localHour(tSec, lonDeg float64) float64 {
+	h := math.Mod(tSec/3600+lonDeg/15, 24)
+	if h < 0 {
+		h += 24
+	}
+	return h
+}
+
+// diurnalFactor is the rate multiplier at time t for a site: 1 ±
+// amplitude on a cosine over the local solar day, peaking at peakHour.
+func diurnalFactor(tSec, lonDeg, amplitude, peakHour float64) float64 {
+	if amplitude == 0 {
+		return 1
+	}
+	phase := 2 * math.Pi * (localHour(tSec, lonDeg) - peakHour) / 24
+	return 1 + amplitude*math.Cos(phase)
+}
+
+// Generate draws the request trace for the workload over [0, horizonSec):
+// per-site thinned Poisson arrivals under the diurnal curve, log-normal
+// service times, merged in time order (ties broken by site). The trace is
+// deterministic in (sites, w, horizonSec).
+func Generate(sites []Site, w Workload, horizonSec float64) ([]Request, error) {
+	w = w.withDefaults()
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if len(sites) == 0 {
+		return nil, fmt.Errorf("serve: no sites")
+	}
+	if horizonSec <= 0 {
+		return nil, fmt.Errorf("serve: horizon %v must be positive", horizonSec)
+	}
+	totalW := 0.0
+	for i, s := range sites {
+		if s.Weight < 0 {
+			return nil, fmt.Errorf("serve: site %d (%s) has negative weight", i, s.Name)
+		}
+		totalW += s.Weight
+	}
+	if totalW <= 0 {
+		return nil, fmt.Errorf("serve: all site weights are zero")
+	}
+
+	var out []Request
+	for si, s := range sites {
+		rate := w.RatePerSec * s.Weight / totalW
+		if rate == 0 {
+			continue
+		}
+		// Per-site stream with its own deterministic sub-seed, so adding or
+		// reordering sites never perturbs another site's draw.
+		r := rand.New(rand.NewSource(w.Seed*1_000_003 + int64(si)))
+		// Thinning: draw a homogeneous process at the diurnal peak rate and
+		// keep each arrival with probability rate(t)/peak.
+		peak := rate * (1 + w.DiurnalAmplitude)
+		sigma := w.ServiceSigma
+		for t := 0.0; ; {
+			t += r.ExpFloat64() / peak
+			if t >= horizonSec {
+				break
+			}
+			keep := diurnalFactor(t, s.Loc.LonDeg, w.DiurnalAmplitude, w.PeakLocalHour) / (1 + w.DiurnalAmplitude)
+			if r.Float64() >= keep {
+				continue
+			}
+			out = append(out, Request{
+				TSec:      t,
+				Site:      si,
+				ServiceMs: w.ServiceMedianMs * math.Exp(r.NormFloat64()*sigma),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TSec != out[j].TSec {
+			return out[i].TSec < out[j].TSec
+		}
+		return out[i].Site < out[j].Site
+	})
+	return out, nil
+}
