@@ -609,8 +609,8 @@ func netgraphLine(s netgraph.Stats) string {
 	if s.Queries() == 0 && s.Freezes == 0 {
 		return "unused"
 	}
-	return fmt.Sprintf("%d queries (%d path / %d sssp / %d isl), %d snapshot freezes",
-		s.Queries(), s.PathQueries, s.SSSPQueries, s.ISLQueries, s.Freezes)
+	return fmt.Sprintf("%d queries (%d path / %d sssp / %d isl), %d snapshot freezes (%d delta)",
+		s.Queries(), s.PathQueries, s.SSSPQueries, s.ISLQueries, s.Freezes, s.DeltaFreezes)
 }
 
 func mean(xs []float64) float64 {

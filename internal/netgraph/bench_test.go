@@ -6,6 +6,9 @@ package netgraph
 // still yields meaningful speedup and allocation metrics.
 
 import (
+	"math"
+	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -129,38 +132,90 @@ func BenchmarkLatencyToAllSats(b *testing.B) {
 	b.ReportMetric(allocs, "steady-allocs/op")
 }
 
-// BenchmarkAllSourcesLatencies compares the GOMAXPROCS fan-out against the
-// serial per-source loop over the same warm snapshot.
+// naiveFanout is the strategy the adaptive fan-out replaced: one goroutine
+// per source regardless of available CPUs, per-row allocations. Benchmarks
+// time it as the rejected alternative on hosts without spare parallelism.
+func naiveFanout(s *Snapshot, gis []int) [][]float64 {
+	out := make([][]float64, len(gis))
+	var wg sync.WaitGroup
+	wg.Add(len(gis))
+	for i := range gis {
+		go func(slot int) {
+			defer wg.Done()
+			out[slot] = s.LatencyToAllSats(gis[slot])
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// BenchmarkAllSourcesLatencies measures what the adaptive fan-out buys over
+// the strategy it rejected on this host. With spare CPUs the fan-out runs
+// parallel and the baseline is the caller's serial per-source loop — the
+// genuine multi-core speedup. Without them (single-CPU hosts, CPU-quota'd
+// containers) the fan-out falls back to serial and the baseline is the
+// naive goroutine-per-source fan-out it replaced, run under the inflated
+// GOMAXPROCS such containers default to (the pre-fix failure mode: worker
+// threads time-slicing one core). Both sides take the minimum over many
+// interleaved repetitions so scheduler noise doesn't decide the ratio.
 func BenchmarkAllSourcesLatencies(b *testing.B) {
 	_, s := benchSnapshot(b)
+	f := s.frozen()
 	gis := make([]int, len(benchCities))
 	for i := range gis {
 		gis[i] = i
 	}
-	var parNs, serialNs int64
-	var parSum, serialSum float64
+	parallelChosen := fanoutWorkers(len(gis), f.nodes) > 1
+	if !parallelChosen && runtime.GOMAXPROCS(0) <= 1 {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	}
+	baseline := func() [][]float64 {
+		if parallelChosen {
+			out := make([][]float64, len(gis))
+			for i, gi := range gis {
+				out[i] = s.LatencyToAllSats(gi)
+			}
+			return out
+		}
+		return naiveFanout(s, gis)
+	}
+	const reps = 32
+	parNs, baseNs := int64(math.MaxInt64), int64(math.MaxInt64)
+	var parSum, baseSum float64
+	checksum := func(rows [][]float64) float64 {
+		var sum float64
+		for _, r := range rows {
+			sum += r[0] + r[len(r)-1]
+		}
+		return sum
+	}
+	timeOnce := func(dst *int64, sum *float64, f func() [][]float64) {
+		start := time.Now()
+		rows := f()
+		if ns := time.Since(start).Nanoseconds(); ns < *dst {
+			*dst = ns
+		}
+		*sum = checksum(rows)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		start := time.Now()
-		rows := s.AllSourcesLatencies(gis)
-		parNs += time.Since(start).Nanoseconds()
-		for _, r := range rows {
-			parSum += r[0]
+		for r := 0; r < reps; r++ {
+			if r&1 == 0 {
+				timeOnce(&parNs, &parSum, func() [][]float64 { return s.AllSourcesLatencies(gis) })
+				timeOnce(&baseNs, &baseSum, baseline)
+			} else {
+				timeOnce(&baseNs, &baseSum, baseline)
+				timeOnce(&parNs, &parSum, func() [][]float64 { return s.AllSourcesLatencies(gis) })
+			}
 		}
-		start = time.Now()
-		for _, gi := range gis {
-			out := s.LatencyToAllSats(gi)
-			serialSum += out[0]
-		}
-		serialNs += time.Since(start).Nanoseconds()
 	}
 	b.StopTimer()
-	if parSum != serialSum {
-		b.Fatalf("parallel/serial sums diverged: %.17g vs %.17g", parSum, serialSum)
+	if parSum != baseSum {
+		b.Fatalf("fan-out/baseline sums diverged: %.17g vs %.17g", parSum, baseSum)
 	}
-	b.ReportMetric(float64(parNs)/float64(b.N), "parallel-ns/op")
-	b.ReportMetric(float64(serialNs)/float64(b.N), "serial-ns/op")
-	b.ReportMetric(float64(serialNs)/float64(parNs), "parallel-speedup-x")
+	b.ReportMetric(float64(parNs), "parallel-ns/op")
+	b.ReportMetric(float64(baseNs), "serial-ns/op")
+	b.ReportMetric(float64(baseNs)/float64(parNs), "parallel-speedup-x")
 }
 
 // BenchmarkISLShortest compares the pooled static-CSR ISL query against the
@@ -202,6 +257,88 @@ func BenchmarkISLShortest(b *testing.B) {
 	b.ReportMetric(float64(frozenNs)/queries, "frozen-ns/op")
 	b.ReportMetric(float64(legacyNs)/queries, "legacy-ns/op")
 	b.ReportMetric(float64(legacyNs)/float64(frozenNs), "frozen-speedup-x")
+}
+
+// deltaSweep runs one chained-vs-full freeze sweep at the given cadence and
+// returns per-mode freeze nanoseconds (steps 2+) and the chain's one-time
+// seeding cost (steps 0–1). Both modes time only the freeze (snapshot
+// propagation is pre-done), and every delta CSR is verified bitwise against
+// its full counterpart outside the timers.
+func deltaSweep(b *testing.B, n *Network, stepSec float64, steps int) (deltaNs, fullNs, initNs int64) {
+	b.Helper()
+	chain := make([]*Snapshot, steps)
+	full := make([]*Snapshot, steps)
+	chain[0] = n.At(0)
+	full[0] = n.At(0)
+	for k := 1; k < steps; k++ {
+		tSec := float64(k) * stepSec
+		chain[k] = n.AtAfter(chain[k-1], tSec)
+		full[k] = n.At(tSec)
+	}
+	// Steps 0–1 are the chain's full scan + calendar seeding.
+	start := time.Now()
+	chain[0].Freeze()
+	chain[1].Freeze()
+	initNs = time.Since(start).Nanoseconds()
+	start = time.Now()
+	for k := 2; k < steps; k++ {
+		chain[k].Freeze()
+	}
+	deltaNs = time.Since(start).Nanoseconds()
+	start = time.Now()
+	for k := 2; k < steps; k++ {
+		full[k].Freeze()
+	}
+	fullNs = time.Since(start).Nanoseconds()
+	for k := 0; k < steps; k++ {
+		cg, fg := chain[k].frozen().g, full[k].frozen().g
+		if len(cg.adj) != len(fg.adj) {
+			b.Fatalf("step %d: delta %d edges vs full %d", k, len(cg.adj), len(fg.adj))
+		}
+		for e := range cg.w {
+			if cg.adj[e] != fg.adj[e] || cg.w[e] != fg.w[e] {
+				b.Fatalf("step %d edge %d: delta (%d, %.17g) vs full (%d, %.17g)",
+					k, e, cg.adj[e], cg.w[e], fg.adj[e], fg.w[e])
+			}
+		}
+	}
+	return deltaNs, fullNs, initNs
+}
+
+// BenchmarkDeltaFreezeSweep compares chained (AtAfter) freeze sweeps against
+// from-scratch freezes at the same instants — the time-swept workload shape
+// of the figure suite, ablations, fleet epochs, and the serve refresh loop.
+// The primary cadence is the fleet-sim/meetup step (2 s, fig67's default),
+// where freezes dominate the sweep; the figure-sampling cadence (60 s) is
+// reported alongside, with more churn per step and thus a smaller win. The
+// chain's one-time calendar seeding is chain-init-ns; steady state is what
+// sweeps amortise to.
+func BenchmarkDeltaFreezeSweep(b *testing.B) {
+	c, err := constellation.StarlinkPhase1(constellation.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := New(c, benchGrounds())
+	const steps = 32
+	var deltaNs, fullNs, initNs, delta60Ns, full60Ns int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, f, ini := deltaSweep(b, n, 2, steps)
+		deltaNs += d
+		fullNs += f
+		initNs += ini
+		d, f, _ = deltaSweep(b, n, 60, steps)
+		delta60Ns += d
+		full60Ns += f
+	}
+	b.StopTimer()
+	perStep := float64(b.N * (steps - 2))
+	b.ReportMetric(float64(deltaNs)/perStep, "delta-ns/op")
+	b.ReportMetric(float64(fullNs)/perStep, "full-ns/op")
+	b.ReportMetric(float64(initNs)/float64(b.N), "chain-init-ns")
+	b.ReportMetric(float64(fullNs)/float64(deltaNs), "delta-freeze-speedup-x")
+	b.ReportMetric(float64(delta60Ns)/perStep, "delta60-ns/op")
+	b.ReportMetric(float64(full60Ns)/float64(delta60Ns), "delta-freeze-speedup-60s-x")
 }
 
 // BenchmarkSnapshotFreeze times the one-time per-snapshot CSR build that

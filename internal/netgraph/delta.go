@@ -1,0 +1,788 @@
+package netgraph
+
+// Incremental (delta) snapshot freezing. A from-scratch freeze spends
+// almost all its time testing every (ground, satellite) pair against the
+// elevation mask — ~1M squared-distance evaluations on the Starlink preset
+// with a realistic gateway fleet. Between adjacent snapshots of a time
+// sweep almost none of those pairs change state, so chained snapshots
+// (Network.AtAfter) carry a deltaState that certifies most pairs invisible
+// without touching them.
+//
+// Certificates. Ground stations are fixed in ECEF and every satellite's
+// ECEF displacement per step is verified against a speed bound vMaxKmS
+// (orbital speed plus Earth-rotation carry, with margin), so three sleep
+// bounds hold for a pair last evaluated exactly at time t0:
+//
+//   - linear: slant range changes at most vMax km/s, so a pair whose range
+//     exceeded its mask threshold by gap km cannot cross before gap/vMax.
+//     Tight near the horizon, loose for far pairs (a satellite's closing
+//     speed toward a point it is not heading at is far below vMax);
+//   - angular: the satellite's direction vector rotates at most vMax/r
+//     rad/s (r is its verified orbit radius), so the central angle to the
+//     ground station shrinks at most that fast and the pair sleeps
+//     (θ−θvis)·r/vMax. The angle gap uses a table lower bound of acos, so
+//     it stays tight all the way to the antipode;
+//   - plane: a satellite rides its orbital plane's great circle (verified
+//     every step), and in ECEF that circle only rotates about the pole at
+//     |RAAN rate − ω⊕|·sin(inc) — an order of magnitude slower than the
+//     satellite itself. A pair whose ground station sits further from the
+//     plane's circle than the visibility cone cannot become visible until
+//     the circle has drifted across the difference, regardless of where
+//     the satellite is along the plane. The plane normal is analytic from
+//     the epoch elements (a pure Z-rotation in ECEF), so its motion needs
+//     no verification — only each satellite's distance from its plane is
+//     checked per step.
+//
+// All three are sound at the discrete freeze instants: each sleep bound is
+// an accumulation of per-step bounds the advance verifies before trusting
+// the calendar (triangle inequality over the verified steps), so a
+// violated assumption degrades to a full rescan, never a stale visible
+// set. Each invisible pair sits in a calendar queue bucketed by its
+// earliest possible crossing time; a delta freeze exactly re-evaluates
+// only the currently visible pairs (their weights move every step anyway)
+// plus the pairs whose wake-up buckets have come due.
+//
+// Exact re-evaluations replicate Observer.Visible bit for bit (same
+// squared-chord compare) and uplink weights reuse the same
+// PropagationDelayMs(√d²) arithmetic the full scan uses, so the visible
+// set, the CSR row order, and every weight are bit-identical to a
+// from-scratch freeze — the property the differential sweep tests pin.
+//
+// The state is handed from snapshot to snapshot by an atomic steal: only
+// one successor of a snapshot can continue its chain; any other chained
+// successor falls back to a fresh full scan that re-seeds the calendar.
+
+import (
+	"math"
+	"math/bits"
+	"slices"
+	"sync"
+
+	"repro/internal/geo"
+	"repro/internal/units"
+)
+
+const (
+	// deltaBucketSec is the calendar bucket width. Pairs are woken at most
+	// one bucket early; narrower buckets mean fewer spurious wake-ups but a
+	// longer ring.
+	deltaBucketSec = 15.0
+	invBucketSec   = 1.0 / deltaBucketSec
+	// maxRingSec caps the fine ring's horizon: a small ring keeps the
+	// bucket headers cache-resident in the schedule path. Sleeps beyond it
+	// spill to the coarse ring below.
+	maxRingSec = 7200.0
+	// The coarse ring holds the long sleepers — plane-certified pairs whose
+	// orbital plane is nowhere near their ground station can sleep for many
+	// hours, far past the fine ring. Coarse buckets only cost an early
+	// wake-up of up to coarseBucketSec on sleeps that were ≥ the fine
+	// horizon anyway.
+	coarseBucketSec = 960.0
+	invCoarseSec    = 1.0 / coarseBucketSec
+	coarseRing      = 64 // 64×960 s ≈ 17 h horizon; longer sleeps clamp
+	coarseMask      = coarseRing - 1
+	// deltaVMargin inflates the analytic ECEF speed bound. Violations are
+	// caught by the per-step displacement check and degrade to a full scan,
+	// so the margin only needs to cover ordinary propagation/interpolation
+	// wobble, not worst cases.
+	deltaVMargin = 1.05
+	// radiusTolKm is the allowed wobble of a satellite's orbit radius
+	// around its shell's nominal value, verified every step; the angular
+	// certificate normalises direction vectors by the nominal radius.
+	radiusTolKm = 7.5
+	// offPlaneTolKm bounds |p·n̂| — how far a satellite may sit off its
+	// orbital plane — verified every step for the plane certificate.
+	offPlaneTolKm = 7.5
+	// cosSlack deflates the angular certificate's cosine gap to absorb the
+	// radius wobble's effect on both the measured cosine and the
+	// visibility-threshold angle (|∂/∂r| ≤ radiusTol/r on each, r ≥ R⊕).
+	cosSlack = 0.0025
+	// offPlaneSlackRad is the angular allowance the plane certificate
+	// grants a satellite off its plane: asin(offPlaneTolKm/rLo) rounded up.
+	offPlaneSlackRad = 1.3e-3
+	// linCutSec gates the linear certificate: it beats the angular one only
+	// near the visibility threshold (the slant range there changes faster
+	// than r·dθ), so its sqrt is skipped whenever the angular bound already
+	// certified at least this long a sleep.
+	linCutSec = 240.0
+	// maxChainDepth bounds how many unfrozen snapshots may stack up in one
+	// chain before AtAfter stops linking them (freezing walks the chain).
+	maxChainDepth = 64
+	// lutN is the resolution of the shared acos/asin bound tables. At 1024
+	// the angle quantisation costs a few km of certified gap — noise next
+	// to the certificates' built-in slacks.
+	lutN = 1024
+)
+
+// Shared inverse-trig bound tables. acosLB[i] = acos(-1 + 2i/lutN) so
+// looking up the node at-or-above a cosine lower-bounds the true angle
+// (acos is decreasing); asinLB[j] = asin(j/lutN) so the node at-or-below a
+// sine magnitude lower-bounds the true angle (asin is increasing).
+var (
+	lutOnce sync.Once
+	acosLB  []float64
+	asinLB  []float64
+)
+
+func buildLUTs() {
+	acosLB = make([]float64, lutN+1)
+	asinLB = make([]float64, lutN+1)
+	for i := 0; i <= lutN; i++ {
+		acosLB[i] = math.Acos(-1 + 2*float64(i)/lutN)
+		asinLB[i] = math.Asin(float64(i) / lutN)
+	}
+}
+
+// acosLBAt returns a lower bound of acos(c) for any c (values outside
+// [-1,1] clamp conservatively).
+func acosLBAt(c float64) float64 {
+	i := int((c+1)*(lutN/2)) + 1 // trunc+1 ≥ ceil: rounding up in c rounds θ down
+	if i < 0 {
+		i = 0
+	} else if i > lutN {
+		i = lutN
+	}
+	return acosLB[i]
+}
+
+// asinLBAt returns a lower bound of asin(x) for x ≥ 0.
+func asinLBAt(x float64) float64 {
+	j := int(x * lutN)
+	if j < 0 {
+		j = 0
+	} else if j > lutN {
+		j = lutN
+	}
+	return asinLB[j]
+}
+
+// satT packs everything the drain loop dereferences per satellite — the
+// mask threshold (squared and plain) and the shell/plane indices — into one
+// cache-line touch.
+type satT struct {
+	c2, c        float64
+	shell, plane int32
+}
+
+// bandT is a satellite's squared-radius verification band.
+type bandT struct {
+	lo, hi float64
+}
+
+// gsT packs the per-(ground, shell) certificate terms: the cosine scale
+// 1/(|g|·rShell) and the upper bound of the visibility-threshold angle.
+type gsT struct {
+	invRgr, thVis float64
+}
+
+// deltaState is the mutable chain state: the current visible rows, the
+// wake-up calendar for invisible pairs, and the previous positions the
+// soundness check compares against. Owned by exactly one snapshot at a
+// time (atomic steal); mutated only inside the owner's freeze.
+type deltaState struct {
+	net     *Network
+	prevT   float64
+	prevPos []geo.Vec3
+
+	// visSat/visW are the per-ground visible rows (ascending satellite ID)
+	// as of prevT — exactly what the full scan would have produced. spareS/
+	// spareW are last step's rows, recycled as build buffers (swap, no copy).
+	visSat [][]int32
+	visW   [][]float64
+	spareS [][]int32
+	spareW [][]float64
+
+	sat []satT // per-sat thresholds and shell/plane indices
+
+	// Pair encoding: pair = gi<<satBits | id (shift/mask beats div/mod in
+	// the drain loop).
+	satBits uint
+	satMask int32
+
+	// Angular-certificate precomputation.
+	nShells   int
+	gs        []gsT     // per gi*nShells+shell: cosine scale, θvis bound
+	rLo       []float64 // per shell: nominal radius − tolerance
+	band      []bandT   // per sat: squared-radius verification band
+	angMaxSec float64   // longest sleep the angular certificate can emit
+	angular   bool      // angular certificates usable for this network
+
+	// Plane-certificate state: each orbital plane's ECEF normal is a pure
+	// Z-rotation of its epoch value at the (slow) rate lamRate, recomputed
+	// analytically every advance; satellites are verified against their
+	// plane every step.
+	planeCert   bool
+	nPlanes     int
+	planeN      []geo.Vec3 // current unit normals (recomputed per advance)
+	planeLam0   []float64  // ECEF node azimuth at epoch (rad)
+	planeLamRW  []float64  // dΛ/dt = RAAN rate − ω⊕ (rad/s)
+	planeSinI   []float64
+	planeCosI   []float64
+	planeInvRot []float64 // 1/(|dΛ/dt|·sin inc): rad of circle drift -> s
+	gHat        []geo.Vec3
+
+	vMaxKmS float64
+	invVMax float64 // 1/vMax
+
+	// buckets is a power-of-two ring calendar: absolute bucket index ab
+	// holds pairs whose earliest possible mask crossing falls in
+	// [ab·deltaBucketSec, (ab+1)·deltaBucketSec). nextAb is the first
+	// undrained absolute index; hot holds pairs that could cross before the
+	// next bucket boundary and are re-checked every freeze. Sleeps past the
+	// fine horizon go to the coarse ring (same scheme, wider buckets).
+	buckets  [][]int32
+	ringMask int64
+	nextAb   int64
+	hot      []int32
+	coarse   [coarseRing][]int32
+	nextCab  int64
+
+	// Per-advance schedule context (hoisted out of the per-pair path).
+	curAb  int64
+	curCab int64
+	tNow   float64
+
+	// scratch reused across steps
+	dueScratch []int32
+	newPairs   []int32
+	downDeg    []int32
+
+	// evals counts exact pair evaluations in the last advance (metrics);
+	// advanced distinguishes a state that has served a delta advance from a
+	// freshly seeded chain start.
+	evals    int
+	advanced bool
+}
+
+// chainable reports whether delta chaining is worth setting up for the
+// network: the shifted pair encoding must index into int32.
+func (n *Network) chainable() bool {
+	sats, grounds := n.Sats(), len(n.Grounds)
+	if sats == 0 || grounds == 0 {
+		return false
+	}
+	satBits := uint(bits.Len(uint(sats - 1)))
+	return int64(grounds)<<satBits <= math.MaxInt32
+}
+
+// newDeltaState runs the full visibility scan at s, returning both the scan
+// products (for CSR assembly) and a seeded calendar. It is the chain-start
+// path: one-time certificate cost per invisible pair buys certified skips
+// on every later step.
+func newDeltaState(s *Snapshot) *deltaState {
+	lutOnce.Do(buildLUTs)
+	net := s.net
+	sats := net.Sats()
+	grounds := net.groundECEF
+	satPos := s.satPos
+	maxChord2 := net.Observer.MaxChord2()
+	shells := net.Constellation.Shells
+
+	d := &deltaState{
+		net:     net,
+		prevT:   s.tSec,
+		prevPos: satPos,
+		visSat:  make([][]int32, len(grounds)),
+		visW:    make([][]float64, len(grounds)),
+		spareS:  make([][]int32, len(grounds)),
+		spareW:  make([][]float64, len(grounds)),
+		sat:     make([]satT, sats),
+		satBits: uint(bits.Len(uint(sats - 1))),
+		downDeg: make([]int32, sats),
+	}
+	d.satMask = int32(1)<<d.satBits - 1
+	for id, c2 := range maxChord2 {
+		d.sat[id].c2, d.sat[id].c = c2, math.Sqrt(c2)
+	}
+
+	// ECEF speed bound: circular orbital speed at the lowest shell (the
+	// fastest), plus the Earth-rotation carry at the highest radius.
+	rMax, vOrb := 0.0, 0.0
+	for _, sh := range shells {
+		r := units.EarthRadiusKm + sh.AltitudeKm
+		if r > rMax {
+			rMax = r
+		}
+		if v := math.Sqrt(units.EarthMuKm3S2 / r); v > vOrb {
+			vOrb = v
+		}
+	}
+	gMax := 0.0
+	for _, g := range grounds {
+		if r := g.Norm(); r > gMax {
+			gMax = r
+		}
+	}
+	if rMax == 0 {
+		return nil
+	}
+	d.vMaxKmS = deltaVMargin * (vOrb + units.EarthRotationRadS*rMax)
+	d.invVMax = 1 / d.vMaxKmS
+
+	d.initAngular(s)
+	d.initPlanes(s)
+
+	// The fine ring covers the linear ((rMax+gMax)/vMax) and angular
+	// (π·r/vMax) sleep horizons up to the maxRingSec cache cap; anything
+	// longer — plane-certified sleeps mostly — spills into the coarse ring,
+	// whose own clamp just means an occasional extra re-certification.
+	horizon := (rMax + gMax) * d.invVMax
+	if ah := math.Pi * rMax * d.invVMax; ah > horizon {
+		horizon = ah
+	}
+	if horizon > maxRingSec {
+		horizon = maxRingSec
+	}
+	ring := int64(1)
+	for ring < int64(horizon*invBucketSec)+4 {
+		ring <<= 1
+	}
+	d.buckets = make([][]int32, ring)
+	d.ringMask = ring - 1
+	d.nextAb = int64(s.tSec*invBucketSec) + 1
+	d.curAb = d.nextAb - 1
+	d.nextCab = int64(s.tSec*invCoarseSec) + 1
+	d.curCab = d.nextCab - 1
+	d.tNow = s.tSec
+
+	for gi, g := range grounds {
+		var ids []int32
+		var ws []float64
+		base := int32(gi) << d.satBits
+		for id, pos := range satPos {
+			rel := pos.Sub(g)
+			d2 := rel.Dot(rel)
+			if d2 <= maxChord2[id] {
+				ids = append(ids, int32(id))
+				ws = append(ws, units.PropagationDelayMs(math.Sqrt(d2)))
+				d.downDeg[id]++
+			} else {
+				d.schedule(base|int32(id), d.certSleep(gi, int32(id), g, pos, d2))
+			}
+		}
+		d.visSat[gi], d.visW[gi] = ids, ws
+	}
+	return d
+}
+
+// initAngular precomputes the per-(ground, shell) cosine terms the angular
+// certificate needs, and verifies its assumptions hold for this network:
+// one mask threshold per shell and every satellite within the radius band
+// of its shell. On any mismatch the angular certificate is disabled (the
+// linear one alone is still sound, just shorter).
+func (d *deltaState) initAngular(s *Snapshot) {
+	net := d.net
+	shells := net.Constellation.Shells
+	csts := net.Constellation.Satellites
+	grounds := net.groundECEF
+	d.nShells = len(shells)
+	d.rLo = make([]float64, d.nShells)
+	d.band = make([]bandT, len(csts))
+
+	shellChord2 := make([]float64, d.nShells)
+	for i := range shellChord2 {
+		shellChord2[i] = -1
+	}
+	for id := range csts {
+		sh := csts[id].ShellIndex
+		d.sat[id].shell = int32(sh)
+		if shellChord2[sh] < 0 {
+			shellChord2[sh] = d.sat[id].c2
+		} else if shellChord2[sh] != d.sat[id].c2 {
+			return // mixed masks within a shell: angular cert off
+		}
+		r := units.EarthRadiusKm + shells[sh].AltitudeKm
+		lo, hi := r-radiusTolKm, r+radiusTolKm
+		d.band[id] = bandT{lo: lo * lo, hi: hi * hi}
+		p := s.satPos[id]
+		if rr := p.Dot(p); rr < d.band[id].lo || rr > d.band[id].hi {
+			return // off-nominal radius: angular cert off
+		}
+	}
+
+	d.gs = make([]gsT, len(grounds)*d.nShells)
+	d.gHat = make([]geo.Vec3, len(grounds))
+	for gi, g := range grounds {
+		d.gHat[gi] = g.Unit()
+	}
+	for sh := range shells {
+		r := units.EarthRadiusKm + shells[sh].AltitudeKm
+		d.rLo[sh] = r - radiusTolKm
+		for gi, g := range grounds {
+			rg := g.Norm()
+			// cos θvis from the law of cosines at the mask threshold; the
+			// slack absorbs radius wobble, and acos of the deflated cosine
+			// upper-bounds the true threshold angle.
+			cv := (rg*rg + r*r - shellChord2[sh]) / (2 * rg * r)
+			d.gs[gi*d.nShells+sh] = gsT{
+				invRgr: 1 / (rg * r),
+				thVis:  math.Acos(units.Clamp(cv-cosSlack, -1, 1)),
+			}
+		}
+	}
+	for _, r := range d.rLo {
+		if am := math.Pi * r * d.invVMax; am > d.angMaxSec {
+			d.angMaxSec = am
+		}
+	}
+	d.angular = true
+}
+
+// initPlanes derives each orbital plane's analytic ECEF normal motion from
+// the epoch elements and verifies every satellite currently rides its
+// plane. Disabled (plane certificates off, everything else still sound)
+// when the angular precomputation failed, elements are unavailable, or any
+// satellite is off-plane at the chain start.
+func (d *deltaState) initPlanes(s *Snapshot) {
+	if !d.angular {
+		return
+	}
+	net := d.net
+	shells := net.Constellation.Shells
+	csts := net.Constellation.Satellites
+
+	base := make([]int32, len(shells)+1)
+	for i, sh := range shells {
+		if sh.Planes <= 0 {
+			return
+		}
+		base[i+1] = base[i] + int32(sh.Planes)
+	}
+	d.nPlanes = int(base[len(shells)])
+	d.planeLam0 = make([]float64, d.nPlanes)
+	d.planeLamRW = make([]float64, d.nPlanes)
+	d.planeSinI = make([]float64, d.nPlanes)
+	d.planeCosI = make([]float64, d.nPlanes)
+	d.planeInvRot = make([]float64, d.nPlanes)
+	seen := make([]bool, d.nPlanes)
+
+	for id := range csts {
+		sat := &csts[id]
+		if sat.Prop == nil || sat.Plane < 0 || int32(sat.Plane) >= base[sat.ShellIndex+1]-base[sat.ShellIndex] {
+			return
+		}
+		p := base[sat.ShellIndex] + int32(sat.Plane)
+		d.sat[id].plane = p
+		if !seen[p] {
+			seen[p] = true
+			e := sat.Prop.Elements()
+			inc := units.Deg2Rad(e.InclinationDeg)
+			si, ci := math.Sincos(inc)
+			d.planeLam0[p] = units.Deg2Rad(e.RAANDeg)
+			d.planeLamRW[p] = sat.Prop.RAANRateRadS() - units.EarthRotationRadS
+			d.planeSinI[p] = si
+			d.planeCosI[p] = ci
+			rot := math.Abs(d.planeLamRW[p]) * si
+			if rot < 1e-12 {
+				rot = 1e-12 // a static circle never drifts closer: sleep caps at the ring
+			}
+			d.planeInvRot[p] = 1 / rot
+		}
+	}
+
+	d.planeN = make([]geo.Vec3, d.nPlanes)
+	d.rotatePlanes(s.tSec)
+	for id := range csts {
+		dp := s.satPos[id].Dot(d.planeN[d.sat[id].plane])
+		if dp > offPlaneTolKm || dp < -offPlaneTolKm {
+			return // model mismatch: plane certificates off
+		}
+	}
+	d.planeCert = true
+}
+
+// rotatePlanes recomputes every plane's ECEF unit normal at time t. In the
+// epoch-aligned ECEF frame the normal is the inclination tilt spun to node
+// azimuth Λ(t) = Λ₀ + (RAAN rate − ω⊕)·t — exact for the circular-orbit
+// propagator, and checked against real positions every advance.
+func (d *deltaState) rotatePlanes(t float64) {
+	for p := range d.planeN {
+		sl, cl := math.Sincos(d.planeLam0[p] + d.planeLamRW[p]*t)
+		si := d.planeSinI[p]
+		d.planeN[p] = geo.Vec3{X: sl * si, Y: -cl * si, Z: d.planeCosI[p]}
+	}
+}
+
+// certSleep returns how long the (gi, id) pair is certified to stay
+// invisible, in seconds: the largest of the linear, angular, and plane
+// bounds. d2 is the pair's exact squared range, already known to exceed
+// the mask threshold. The drain loop inlines the same logic; this method
+// serves the colder call sites (seeding, visible-row leavers).
+func (d *deltaState) certSleep(gi int, id int32, g geo.Vec3, pos geo.Vec3, d2 float64) float64 {
+	sleep := (math.Sqrt(d2) - d.sat[id].c) * d.invVMax
+	if !d.angular {
+		return sleep
+	}
+	m := d.sat[id]
+	gsk := d.gs[gi*d.nShells+int(m.shell)]
+	if th := acosLBAt(g.Dot(pos)*gsk.invRgr+cosSlack) - gsk.thVis; th > 0 {
+		if as := th * d.rLo[m.shell] * d.invVMax; as > sleep {
+			sleep = as
+		}
+	}
+	if d.planeCert {
+		x := d.gHat[gi].Dot(d.planeN[m.plane])
+		if x < 0 {
+			x = -x
+		}
+		if dg := asinLBAt(x) - gsk.thVis - offPlaneSlackRad; dg > 0 {
+			if ps := dg * d.planeInvRot[m.plane]; ps > sleep {
+				sleep = ps
+			}
+		}
+	}
+	return sleep
+}
+
+// schedule re-inserts an invisible pair at its earliest possible crossing
+// time, sleepSec after the current advance's time. Pairs that could cross
+// before the next bucket boundary go to the hot list (re-checked every
+// freeze).
+func (d *deltaState) schedule(pair int32, sleepSec float64) {
+	ab := int64((d.tNow + sleepSec) * invBucketSec)
+	if ab <= d.curAb {
+		d.hot = append(d.hot, pair)
+		return
+	}
+	if ab-d.curAb <= d.ringMask {
+		slot := ab & d.ringMask
+		d.buckets[slot] = append(d.buckets[slot], pair)
+		return
+	}
+	// Past the fine horizon: coarse ring (sleep ≥ fine horizon ≫ one coarse
+	// bucket, so cab > curCab always).
+	cab := int64((d.tNow + sleepSec) * invCoarseSec)
+	if max := d.curCab + coarseMask; cab > max {
+		cab = max
+	}
+	d.coarse[cab&coarseMask] = append(d.coarse[cab&coarseMask], pair)
+}
+
+// advance moves the state from prevT to s (its successor snapshot) and
+// leaves visSat/visW/downDeg describing s exactly. It returns false — state
+// unusable, caller must full-scan — when time went backwards or a satellite
+// broke the speed, radius, or coplanarity bound the certificates assume.
+func (d *deltaState) advance(s *Snapshot) bool {
+	net := s.net
+	if net != d.net || s.tSec < d.prevT {
+		return false
+	}
+	grounds := net.groundECEF
+	satPos := s.satPos
+	dt := s.tSec - d.prevT
+
+	// Soundness checks: no satellite may have outrun the speed bound; for
+	// the angular certificate every orbit radius must stay in band; for the
+	// plane certificate every satellite must still ride its (analytically
+	// rotated) plane. All checks happen before any calendar entry is
+	// trusted, so a violated assumption degrades to a full scan instead of
+	// a stale visible set.
+	if d.planeCert {
+		d.rotatePlanes(s.tSec)
+	}
+	maxStep := d.vMaxKmS * dt
+	maxStep2 := maxStep*maxStep + 1e-9
+	prevPos := d.prevPos
+	for id, pos := range satPos {
+		rel := pos.Sub(prevPos[id])
+		if rel.Dot(rel) > maxStep2 {
+			return false
+		}
+		if d.angular {
+			if rr := pos.Dot(pos); rr < d.band[id].lo || rr > d.band[id].hi {
+				return false
+			}
+		}
+		if d.planeCert {
+			dp := pos.Dot(d.planeN[d.sat[id].plane])
+			if dp > offPlaneTolKm || dp < -offPlaneTolKm {
+				return false
+			}
+		}
+	}
+
+	t := s.tSec
+	d.tNow = t
+	d.curAb = int64(t * invBucketSec)
+
+	// Collect the hot list and every due bucket into one scratch slice, then
+	// drain it in a single loop with everything the certificates touch held
+	// in locals. Due slots are reset before the loop, so re-scheduling into
+	// a recycled slot (as a future bucket) cannot alias the iteration.
+	due := append(d.dueScratch[:0], d.hot...)
+	d.hot = d.hot[:0]
+	target := d.curAb
+	if target-d.nextAb > d.ringMask { // huge jump: every bucket is due
+		target = d.nextAb + d.ringMask
+	}
+	for ab := d.nextAb; ab <= target; ab++ {
+		slot := ab & d.ringMask
+		b := d.buckets[slot]
+		due = append(due, b...)
+		d.buckets[slot] = b[:0]
+	}
+	d.nextAb = target + 1
+	d.curCab = int64(t * invCoarseSec)
+	ctarget := d.curCab
+	if ctarget-d.nextCab > coarseMask {
+		ctarget = d.nextCab + coarseMask
+	}
+	for cab := d.nextCab; cab <= ctarget; cab++ {
+		slot := cab & coarseMask
+		b := d.coarse[slot]
+		due = append(due, b...)
+		d.coarse[slot] = b[:0]
+	}
+	d.nextCab = ctarget + 1
+	d.dueScratch = due
+
+	newPairs := d.newPairs[:0]
+	{
+		chord := d.sat
+		gs := d.gs
+		rLo := d.rLo
+		gHat := d.gHat
+		planeN := d.planeN
+		planeInvRot := d.planeInvRot
+		buckets := d.buckets
+		hot := d.hot
+		satBits, satMask := d.satBits, d.satMask
+		nShells := d.nShells
+		invVMax := d.invVMax
+		angMaxSec := d.angMaxSec
+		angular, planeCert := d.angular, d.planeCert
+		curAb, ringMask := d.curAb, d.ringMask
+		capCab := d.curCab + coarseMask
+		for _, pair := range due {
+			gi := int(pair >> satBits)
+			id := pair & satMask
+			pos := satPos[id]
+			g := grounds[gi]
+			rel := pos.Sub(g)
+			d2 := rel.Dot(rel)
+			ch := chord[id]
+			if d2 <= ch.c2 {
+				newPairs = append(newPairs, pair)
+				continue
+			}
+			// Certificates cheapest-first, skipping the rest once the sleep
+			// is already long: the plane bound is a dot product and a table
+			// lookup; the angular bound adds another; the linear bound costs
+			// a sqrt but only ever wins near the threshold, so it is skipped
+			// unless the angular sleep came out short. A shorter-than-optimal
+			// sleep is always sound — the pair just re-certifies early.
+			var sleep float64
+			if angular {
+				gsk := gs[gi*nShells+int(ch.shell)]
+				if planeCert {
+					x := gHat[gi].Dot(planeN[ch.plane])
+					if x < 0 {
+						x = -x
+					}
+					if dg := asinLBAt(x) - gsk.thVis - offPlaneSlackRad; dg > 0 {
+						sleep = dg * planeInvRot[ch.plane]
+					}
+				}
+				if sleep < angMaxSec {
+					if th := acosLBAt(g.Dot(pos)*gsk.invRgr+cosSlack) - gsk.thVis; th > 0 {
+						if as := th * rLo[ch.shell] * invVMax; as > sleep {
+							sleep = as
+						}
+					}
+					if sleep < linCutSec {
+						if lin := (math.Sqrt(d2) - ch.c) * invVMax; lin > sleep {
+							sleep = lin
+						}
+					}
+				}
+			} else {
+				sleep = (math.Sqrt(d2) - ch.c) * invVMax
+			}
+			ab := int64((t + sleep) * invBucketSec)
+			if ab <= curAb {
+				hot = append(hot, pair)
+				continue
+			}
+			if ab-curAb <= ringMask {
+				slot := ab & ringMask
+				buckets[slot] = append(buckets[slot], pair)
+				continue
+			}
+			cab := int64((t + sleep) * invCoarseSec)
+			if cab > capCab {
+				cab = capCab
+			}
+			d.coarse[cab&coarseMask] = append(d.coarse[cab&coarseMask], pair)
+		}
+		d.hot = hot
+	}
+	d.evals = len(due)
+	d.newPairs = newPairs
+	slices.Sort(newPairs) // pair = gi<<satBits | id: ground-major, then sat
+
+	// Per ground: re-evaluate the previously visible row exactly (weights
+	// move every step), drop leavers into the calendar, and merge the
+	// sorted newcomers to keep rows ascending by satellite ID. Rows are
+	// double-buffered: last step's arrays become this step's build buffers.
+	clear(d.downDeg)
+	downDeg := d.downDeg
+	chord := d.sat
+	satBits, satMask := d.satBits, d.satMask
+	np := 0
+	for gi, g := range grounds {
+		lo := np
+		hiPair := int32(gi+1) << satBits
+		for np < len(newPairs) && newPairs[np] < hiPair {
+			np++
+		}
+		newcomers := newPairs[lo:np]
+		rowS := d.spareS[gi][:0]
+		rowW := d.spareW[gi][:0]
+		old := d.visSat[gi]
+		oi := 0
+		for _, pair := range newcomers {
+			nid := pair & satMask
+			for oi < len(old) && old[oi] < nid {
+				id := old[oi]
+				oi++
+				pos := satPos[id]
+				rel := pos.Sub(g)
+				d2 := rel.Dot(rel)
+				if d2 <= chord[id].c2 {
+					rowS = append(rowS, id)
+					rowW = append(rowW, units.PropagationDelayMs(math.Sqrt(d2)))
+					downDeg[id]++
+				} else {
+					d.schedule(int32(gi)<<satBits|id, d.certSleep(gi, id, g, pos, d2))
+				}
+			}
+			pos := satPos[nid]
+			rel := pos.Sub(g)
+			rowS = append(rowS, nid)
+			rowW = append(rowW, units.PropagationDelayMs(math.Sqrt(rel.Dot(rel))))
+			downDeg[nid]++
+		}
+		for oi < len(old) {
+			id := old[oi]
+			oi++
+			pos := satPos[id]
+			rel := pos.Sub(g)
+			d2 := rel.Dot(rel)
+			if d2 <= chord[id].c2 {
+				rowS = append(rowS, id)
+				rowW = append(rowW, units.PropagationDelayMs(math.Sqrt(d2)))
+				downDeg[id]++
+			} else {
+				d.schedule(int32(gi)<<satBits|id, d.certSleep(gi, id, g, pos, d2))
+			}
+		}
+		d.evals += len(old) + len(newcomers)
+		d.spareS[gi], d.visSat[gi] = old, rowS
+		d.spareW[gi], d.visW[gi] = d.visW[gi], rowW
+	}
+
+	d.prevT = t
+	d.prevPos = satPos
+	d.advanced = true
+	return true
+}

@@ -1,0 +1,162 @@
+package netgraph
+
+// Differential tests for incremental (delta) snapshot freezing: a chain of
+// AtAfter snapshots swept across a full orbital period must produce CSR
+// arrays byte-identical to from-scratch freezes at every step — including
+// the mask-crossing churn the poles and dateline stations in diffGrounds
+// provoke — and every fallback path (foreign prev, backwards time, stolen
+// chain state) must silently degrade to a correct full scan.
+
+import (
+	"math"
+	"testing"
+)
+
+// sameCSR asserts byte identity of two frozen graphs: offsets and adjacency
+// by integer equality, weights by exact bit pattern.
+func sameCSR(t *testing.T, label string, got, want *frozen) {
+	t.Helper()
+	if got.sats != want.sats || got.nodes != want.nodes {
+		t.Fatalf("%s: dims %d/%d vs %d/%d", label, got.sats, got.nodes, want.sats, want.nodes)
+	}
+	if len(got.g.off) != len(want.g.off) || len(got.g.adj) != len(want.g.adj) || len(got.g.w) != len(want.g.w) {
+		t.Fatalf("%s: lengths off %d/%d adj %d/%d w %d/%d", label,
+			len(got.g.off), len(want.g.off), len(got.g.adj), len(want.g.adj), len(got.g.w), len(want.g.w))
+	}
+	for i := range got.g.off {
+		if got.g.off[i] != want.g.off[i] {
+			t.Fatalf("%s: off[%d] = %d, want %d", label, i, got.g.off[i], want.g.off[i])
+		}
+	}
+	for i := range got.g.adj {
+		if got.g.adj[i] != want.g.adj[i] {
+			t.Fatalf("%s: adj[%d] = %d, want %d", label, i, got.g.adj[i], want.g.adj[i])
+		}
+	}
+	for i := range got.g.w {
+		if math.Float64bits(got.g.w[i]) != math.Float64bits(want.g.w[i]) {
+			t.Fatalf("%s: w[%d] = %.17g (bits %x), want %.17g (bits %x)", label, i,
+				got.g.w[i], math.Float64bits(got.g.w[i]), want.g.w[i], math.Float64bits(want.g.w[i]))
+		}
+	}
+}
+
+// TestDeltaFreezeBitIdenticalSweep chains snapshots across a full orbital
+// period on both presets and pins every delta-built CSR to a from-scratch
+// freeze. Not parallel: it asserts on the package-wide delta counter to
+// prove the incremental path (not a silent fallback) actually served the
+// chain.
+func TestDeltaFreezeBitIdenticalSweep(t *testing.T) {
+	for _, preset := range []string{"starlink", "kuiper"} {
+		t.Run(preset, func(t *testing.T) {
+			n := presetNet(t, preset)
+			const stepSec = 60.0
+			steps := int(math.Floor(orbitalPeriodSec/stepSec)) + 1
+
+			before := totalDeltaFreezes.Load()
+			snap := n.At(0)
+			for i := 0; i < steps; i++ {
+				tSec := float64(i) * stepSec
+				if i > 0 {
+					snap = n.AtAfter(snap, tSec)
+				}
+				got := snap.frozen()
+				want := n.At(tSec).frozen() // plain At: always a full scan
+				sameCSR(t, preset+" t="+itoa(int(tSec)), got, want)
+			}
+			// Step 0 is a plain At and step 1 is the chain-start full scan;
+			// every later step must have taken the delta path.
+			if got, want := totalDeltaFreezes.Load()-before, uint64(steps-2); got != want {
+				t.Fatalf("delta freezes = %d, want %d (chain fell back to full scans)", got, want)
+			}
+		})
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [12]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+// TestDeltaFreezeIrregularSteps exercises uneven, tiny, zero, and large time
+// steps in one chain — bucket drains of varying widths, dt=0 re-freezes, and
+// jumps long enough to wrap most of the calendar ring.
+func TestDeltaFreezeIrregularSteps(t *testing.T) {
+	n := presetNet(t, "starlink")
+	offsets := []float64{0, 1, 1, 16, 75, 75.5, 300, 1800, 1801, 5000, 5736}
+	var snap *Snapshot
+	for i, tSec := range offsets {
+		if i == 0 {
+			snap = n.At(tSec)
+		} else {
+			snap = n.AtAfter(snap, tSec)
+		}
+		sameCSR(t, "t="+itoa(int(tSec)), snap.frozen(), n.At(tSec).frozen())
+	}
+}
+
+// TestAtAfterFallbacks: every misuse must degrade to a correct full freeze,
+// never a wrong graph.
+func TestAtAfterFallbacks(t *testing.T) {
+	n := presetNet(t, "starlink")
+	other := presetNet(t, "starlink")
+
+	// nil prev.
+	s := n.AtAfter(nil, 120)
+	sameCSR(t, "nil prev", s.frozen(), n.At(120).frozen())
+
+	// Foreign prev (different Network).
+	s = n.AtAfter(other.At(0), 180)
+	sameCSR(t, "foreign prev", s.frozen(), n.At(180).frozen())
+
+	// Backwards time.
+	p := n.At(600)
+	s = n.AtAfter(p, 540)
+	sameCSR(t, "backwards", s.frozen(), n.At(540).frozen())
+}
+
+// TestDeltaChainSteal: two successors chained onto the same predecessor.
+// Exactly one can steal the calendar; both must be bit-identical to full
+// freezes.
+func TestDeltaChainSteal(t *testing.T) {
+	n := presetNet(t, "starlink")
+	p := n.AtAfter(n.At(0), 60) // chain start: owns delta state after freezing
+	p.Freeze()
+	s1 := n.AtAfter(p, 120)
+	s2 := n.AtAfter(p, 180)
+	sameCSR(t, "s1", s1.frozen(), n.At(120).frozen())
+	sameCSR(t, "s2", s2.frozen(), n.At(180).frozen())
+}
+
+// TestCheckEdgeBudget pins the int32 CSR offset guard at the boundary.
+func TestCheckEdgeBudget(t *testing.T) {
+	checkEdgeBudget(0)
+	checkEdgeBudget(math.MaxInt32) // largest representable: must not panic
+
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("checkEdgeBudget(MaxInt32+1) did not panic")
+		}
+		err, ok := r.(*ErrGraphTooLarge)
+		if !ok {
+			t.Fatalf("panic value %T, want *ErrGraphTooLarge", r)
+		}
+		if err.Edges != math.MaxInt32+1 {
+			t.Fatalf("Edges = %d", err.Edges)
+		}
+		if err.Error() == "" {
+			t.Fatal("empty error message")
+		}
+	}()
+	checkEdgeBudget(math.MaxInt32 + 1)
+}

@@ -15,18 +15,48 @@ package netgraph
 // tie-breaking: a satellite's row is its +grid neighbours (grid order)
 // followed by visible ground stations ascending; a ground row is its
 // visible satellites ascending.
+//
+// Snapshots chained with Network.AtAfter skip the full visibility scan:
+// the predecessor's deltaState (delta.go) advances to this snapshot's time
+// and hands assembleCSR the same visSat/visW/downDeg a full scan would
+// have produced, bit for bit.
 
 import (
+	"fmt"
+	"math"
 	"time"
 
+	"repro/internal/geo"
 	"repro/internal/units"
 )
+
+// ErrGraphTooLarge is the panic value raised when a frozen snapshot's edge
+// count would overflow the int32 CSR offsets (mega-constellation configs).
+type ErrGraphTooLarge struct {
+	Edges int64
+}
+
+func (e *ErrGraphTooLarge) Error() string {
+	return fmt.Sprintf("netgraph: frozen graph has %d directed edges; CSR offsets are int32 (max %d)", e.Edges, int32(math.MaxInt32))
+}
 
 // frozen is the per-snapshot CSR adjacency shared by all queries.
 type frozen struct {
 	sats  int
 	nodes int
 	g     csr
+	// satPos/groundPos reference (not copy) the node positions — satellite
+	// rows first, ground rows after — for goal-directed query heuristics.
+	satPos    []geo.Vec3
+	groundPos []geo.Vec3
+}
+
+// pos returns the position of a node (satellite or ground).
+func (f *frozen) pos(node int32) geo.Vec3 {
+	if int(node) < f.sats {
+		return f.satPos[node]
+	}
+	return f.groundPos[int(node)-f.sats]
 }
 
 // frozen returns the snapshot's CSR, building it on first use. Safe for
@@ -34,13 +64,42 @@ type frozen struct {
 func (s *Snapshot) frozen() *frozen {
 	s.frzOnce.Do(func() {
 		m := s.net.metrics()
+
+		// Chained snapshot: freeze the predecessor (so its delta state
+		// exists), then steal that state. The steal is atomic — if several
+		// snapshots chain off the same predecessor, exactly one advances the
+		// calendar; the rest fall back to a fresh full scan.
+		var st *deltaState
+		if p := s.prev; p != nil {
+			s.prev = nil
+			p.frozen()
+			if st = p.delta.Swap(nil); st != nil && !st.advance(s) {
+				st = nil
+			}
+		}
+
+		mode := "netgraph.freeze"
+		if st != nil {
+			mode = "netgraph.freeze.delta"
+		}
 		start := time.Now()
 		var sp spanEnder
 		if tr := tracer(); tr != nil {
-			span := tr.Start("netgraph.freeze")
-			sp = span
+			sp = tr.Start(mode)
 		}
-		s.frz = buildFrozen(s)
+		switch {
+		case st != nil:
+			s.frz = assembleCSR(s, st.visSat, st.visW, st.downDeg)
+		case s.chained && s.net.chainable():
+			// Chain start: the full scan doubles as calendar seeding.
+			if st = newDeltaState(s); st != nil {
+				s.frz = assembleCSR(s, st.visSat, st.visW, st.downDeg)
+			} else {
+				s.frz = buildFrozen(s)
+			}
+		default:
+			s.frz = buildFrozen(s)
+		}
 		if sp != nil {
 			sp.End()
 		}
@@ -50,6 +109,17 @@ func (s *Snapshot) frozen() *frozen {
 		m.frozenEdges.Set(float64(len(s.frz.g.adj)))
 		totalFreezes.Add(1)
 		totalFrozenEdges.Add(uint64(len(s.frz.g.adj)))
+		if st != nil {
+			if st.advanced { // delta advance (vs chain-start full scan)
+				m.deltaFreezes.Inc()
+				m.deltaPairs.Add(uint64(st.evals))
+				m.deltaSec.Observe(sec)
+				totalDeltaFreezes.Add(1)
+			}
+			// Publish for the next snapshot in the chain.
+			s.delta.Store(st)
+		}
+		s.frozenDone.Store(true)
 	})
 	return s.frz
 }
@@ -59,19 +129,15 @@ type spanEnder interface{ End() float64 }
 
 func buildFrozen(s *Snapshot) *frozen {
 	net := s.net
-	sats := net.Sats()
-	nodes := net.Nodes()
 	grounds := net.groundECEF
 	obsv := net.Observer
 	satPos := s.satPos
-	grid := net.Grid
 
 	// One visibility scan per ground station — the edges legacy edgeIter
 	// re-derived per expansion. visSat rows are ascending by satellite ID.
 	visSat := make([][]int32, len(grounds))
 	visW := make([][]float64, len(grounds))
-	downDeg := make([]int32, sats)
-	groundEdges := 0
+	downDeg := make([]int32, net.Sats())
 	for gi, g := range grounds {
 		var ids []int32
 		var ws []float64
@@ -83,13 +149,33 @@ func buildFrozen(s *Snapshot) *frozen {
 			}
 		}
 		visSat[gi], visW[gi] = ids, ws
-		groundEdges += len(ids)
 	}
+	return assembleCSR(s, visSat, visW, downDeg)
+}
+
+// assembleCSR lays out the frozen CSR from per-ground visibility rows. Both
+// freeze paths funnel through it — the full scan (buildFrozen) and the
+// delta advance (delta.go) — so the array layout is shared by construction.
+func assembleCSR(s *Snapshot, visSat [][]int32, visW [][]float64, downDeg []int32) *frozen {
+	net := s.net
+	sats := net.Sats()
+	nodes := net.Nodes()
+	grounds := net.groundECEF
+	satPos := s.satPos
+	ic := islGraph(net.Grid, sats)
+
+	// Guard the int32 offsets before accumulating into them: directed edge
+	// count is grid degree sum plus twice the ground links.
+	edges64 := int64(ic.off[sats])
+	for gi := range grounds {
+		edges64 += 2 * int64(len(visSat[gi]))
+	}
+	checkEdgeBudget(edges64)
 
 	f := &frozen{sats: sats, nodes: nodes}
 	off := make([]int32, nodes+1)
 	for u := 0; u < sats; u++ {
-		off[u+1] = off[u] + int32(len(grid.Neighbors(u))) + downDeg[u]
+		off[u+1] = off[u] + (ic.off[u+1] - ic.off[u]) + downDeg[u]
 	}
 	for gi := range grounds {
 		off[sats+gi+1] = off[sats+gi] + int32(len(visSat[gi]))
@@ -98,14 +184,23 @@ func buildFrozen(s *Snapshot) *frozen {
 	adj := make([]int32, edges)
 	w := make([]float64, edges)
 
-	// Satellite rows, part 1: +grid ISLs in Grid.Neighbors order.
+	// Satellite rows, part 1: +grid ISLs in the static CSR's (= legacy
+	// Neighbors) order. Each undirected link's delay is computed once at
+	// its higher-endpoint row and mirrored into the lower one already
+	// written — Vec3.Distance is exactly symmetric, so the shared value is
+	// the one both slots would have computed.
 	cursor := make([]int32, sats)
 	for u := 0; u < sats; u++ {
 		k := off[u]
 		pu := satPos[u]
-		for _, nb := range grid.Neighbors(u) {
-			adj[k] = int32(nb)
-			w[k] = units.PropagationDelayMs(pu.Distance(satPos[nb]))
+		for e := ic.off[u]; e < ic.off[u+1]; e++ {
+			nb := ic.adj[e]
+			adj[k] = nb
+			if r := ic.rev[e]; nb < int32(u) && r >= 0 {
+				w[k] = w[off[nb]+(r-ic.off[nb])]
+			} else {
+				w[k] = units.PropagationDelayMs(pu.Distance(satPos[nb]))
+			}
 			k++
 		}
 		cursor[u] = k
@@ -127,7 +222,17 @@ func buildFrozen(s *Snapshot) *frozen {
 	}
 
 	f.g = csr{off: off, adj: adj, w: w}
+	f.satPos = satPos
+	f.groundPos = grounds
 	return f
+}
+
+// checkEdgeBudget panics with *ErrGraphTooLarge when a directed edge count
+// cannot be addressed by the int32 CSR offsets.
+func checkEdgeBudget(edges int64) {
+	if edges > math.MaxInt32 {
+		panic(&ErrGraphTooLarge{Edges: edges})
+	}
 }
 
 // groundRow returns the frozen uplink row of ground station gi: visible

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/constellation"
@@ -82,14 +83,34 @@ func (n *Network) GroundNode(i int) NodeID { return NodeID(n.Sats() + i) }
 // IsSat reports whether id is a satellite node.
 func (n *Network) IsSat(id NodeID) bool { return int(id) < n.Sats() }
 
+// noCopy triggers go vet's copylocks check when embedded in a struct that
+// must not be copied by value.
+type noCopy struct{}
+
+func (*noCopy) Lock()   {}
+func (*noCopy) Unlock() {}
+
 // Snapshot freezes the network at one instant; all routing queries run
 // against a snapshot. The first query (or an explicit Freeze) builds the
-// CSR adjacency every later query reuses, so a Snapshot must not be copied.
+// CSR adjacency every later query reuses, so a Snapshot must not be copied
+// (enforced by the noCopy vet guard).
 type Snapshot struct {
+	noCopy noCopy //nolint:unused // vet copylocks guard
+
 	net  *Network
 	tSec float64
 	// satPos[id] is the ECEF position of satellite id.
 	satPos []geo.Vec3
+
+	// Delta-freeze chain plumbing (delta.go): prev is the predecessor this
+	// snapshot was chained onto with AtAfter, chainDepth bounds the freeze
+	// recursion over unfrozen ancestors, and delta carries the calendar
+	// state exactly one successor may steal after this snapshot freezes.
+	prev       *Snapshot
+	chained    bool
+	chainDepth int
+	frozenDone atomic.Bool
+	delta      atomic.Pointer[deltaState]
 
 	frzOnce sync.Once
 	frz     *frozen
@@ -103,6 +124,42 @@ func (n *Network) At(tSec float64) *Snapshot {
 		return &Snapshot{net: n, tSec: tSec, satPos: n.eng.SnapshotAt(tSec)}
 	}
 	return &Snapshot{net: n, tSec: tSec, satPos: n.Constellation.Snapshot(tSec)}
+}
+
+// AtAfter builds a snapshot at tSec chained onto prev, an earlier snapshot
+// of the same network. Chained snapshots freeze incrementally: the
+// predecessor's visibility state advances by the elapsed time instead of
+// rescanning every (ground, satellite) pair, producing a CSR bit-identical
+// to At(tSec).Freeze() at a fraction of the cost. Sweep loops and snapshot
+// rings should thread each new snapshot through the previous one:
+//
+//	snap := net.At(t0)
+//	for t := t0 + step; t < end; t += step {
+//		snap = net.AtAfter(snap, t)
+//		// ... query snap ...
+//	}
+//
+// A nil or foreign prev (different network, or time moving backwards) makes
+// AtAfter equivalent to At. Only one successor can continue a given chain;
+// extra successors of the same prev silently fall back to a full scan.
+func (n *Network) AtAfter(prev *Snapshot, tSec float64) *Snapshot {
+	s := n.At(tSec)
+	if prev == nil || prev.net != n || tSec < prev.tSec {
+		return s
+	}
+	// Freezing a chained snapshot freezes its unfrozen ancestors first;
+	// bound that recursion for pathological build-many-freeze-none callers.
+	depth := 1
+	if !prev.frozenDone.Load() {
+		depth = prev.chainDepth + 1
+	}
+	if depth > maxChainDepth {
+		return s
+	}
+	s.prev = prev
+	s.chained = true
+	s.chainDepth = depth
+	return s
 }
 
 // Time returns the snapshot time in seconds after epoch.
@@ -183,8 +240,18 @@ func (s *Snapshot) ShortestPath(src, dst NodeID) (Path, error) {
 	start := time.Now()
 	f := s.frozen()
 	c := getCtx(f.nodes)
-	c.dijkstra(f.g, int32(src), int32(dst))
-	d := c.distAt(int32(dst))
+	d := math.Inf(1)
+	if f.sats >= overlayMinSats {
+		// Goal-directed two-phase run with the line-of-sight bound (overlay.go):
+		// answers are bit-identical to the plain core below.
+		h := &losHeur{f: f, dst: f.pos(int32(dst))}
+		if c.goalDirected(f.g, int32(src), int32(dst), h) {
+			d = c.distAt(int32(dst))
+		}
+	} else {
+		c.dijkstra(f.g, int32(src), int32(dst))
+		d = c.distAt(int32(dst))
+	}
 	var p Path
 	if !math.IsInf(d, 1) {
 		p = Path{Nodes: c.pathTo(int32(dst)), OneWayMs: d}
@@ -203,15 +270,21 @@ func (s *Snapshot) ShortestPath(src, dst NodeID) (Path, error) {
 // SatToSatLatencyMs returns the one-way latency between two satellites over
 // the ISL grid (no ground bounce).
 func (s *Snapshot) SatToSatLatencyMs(a, b int) (float64, error) {
-	p, err := ISLShortest(s.net.Grid, s.satPos, a, b)
+	p, err := s.ISLPath(a, b)
 	if err != nil {
 		return 0, err
 	}
 	return p.OneWayMs, nil
 }
 
-// ISLPath returns the shortest ISL-only path between two satellites.
+// ISLPath returns the shortest ISL-only path between two satellites. Having
+// the constellation at hand, it builds (once per grid) the ALT landmark
+// overlay that prunes long-haul queries; the standalone ISLShortest then
+// picks it up from the cache.
 func (s *Snapshot) ISLPath(a, b int) (Path, error) {
+	if s.net.Sats() >= overlayMinSats {
+		s.net.islOverlay()
+	}
 	return ISLShortest(s.net.Grid, s.satPos, a, b)
 }
 
@@ -221,6 +294,10 @@ func (s *Snapshot) ISLPath(a, b int) (Path, error) {
 type islCSR struct {
 	off []int32
 	adj []int32
+	// rev[e] is the index of edge e's reverse (v→u for e=u→v), or -1 when
+	// the grid is asymmetric there. Link delays are symmetric, so the CSR
+	// assembly computes each undirected weight once and writes both slots.
+	rev []int32
 }
 
 var islCSRCache sync.Map // *isl.Grid -> islCSR
@@ -243,7 +320,20 @@ func islGraph(g *isl.Grid, sats int) islCSR {
 			k++
 		}
 	}
-	v, _ := islCSRCache.LoadOrStore(g, islCSR{off: off, adj: adj})
+	rev := make([]int32, off[sats])
+	for u := 0; u < sats; u++ {
+		for e := off[u]; e < off[u+1]; e++ {
+			rev[e] = -1
+			v := adj[e]
+			for f := off[v]; f < off[v+1]; f++ {
+				if adj[f] == int32(u) {
+					rev[e] = f
+					break
+				}
+			}
+		}
+	}
+	v, _ := islCSRCache.LoadOrStore(g, islCSR{off: off, adj: adj, rev: rev})
 	return v.(islCSR)
 }
 
@@ -263,8 +353,24 @@ func ISLShortest(g *isl.Grid, satPos []geo.Vec3, a, b int) (Path, error) {
 	start := time.Now()
 	ic := islGraph(g, sats)
 	c := getCtx(sats)
-	c.dijkstra(csr{off: ic.off, adj: ic.adj, pos: satPos}, int32(a), int32(b))
-	d := c.distAt(int32(b))
+	gg := csr{off: ic.off, adj: ic.adj, pos: satPos}
+	d := math.Inf(1)
+	if sats >= overlayMinSats {
+		h := &islHeur{pos: satPos, dst: satPos[b]}
+		if ov := cachedOverlay(g, sats); ov != nil && ov.valid {
+			h.lm = ov.lm
+			base := b * overlayLandmarks
+			for i := range h.lt {
+				h.lt[i] = ov.lm[base+i]
+			}
+		}
+		if c.goalDirected(gg, int32(a), int32(b), h) {
+			d = c.distAt(int32(b))
+		}
+	} else {
+		c.dijkstra(gg, int32(a), int32(b))
+		d = c.distAt(int32(b))
+	}
 	var p Path
 	if !math.IsInf(d, 1) {
 		p = Path{Nodes: c.pathTo(int32(b)), OneWayMs: d}
@@ -315,12 +421,21 @@ func (s *Snapshot) LatencyToAllSatsInto(gi int, dst []float64) []float64 {
 // (satellites then ground stations), +Inf where unreachable. Used by fig3
 // to price one user against every data centre in a single pass.
 func (s *Snapshot) LatencyToAllNodes(src NodeID) []float64 {
+	return s.LatencyToAllNodesInto(src, nil)
+}
+
+// LatencyToAllNodesInto is LatencyToAllNodes writing into dst (grown if too
+// small), for callers batching many sources over one snapshot.
+func (s *Snapshot) LatencyToAllNodesInto(src NodeID, dst []float64) []float64 {
 	m := s.net.metrics()
 	start := time.Now()
 	f := s.frozen()
 	c := getCtx(f.nodes)
 	c.dijkstra(f.g, int32(src), -1)
-	out := make([]float64, f.nodes)
+	if cap(dst) < f.nodes {
+		dst = make([]float64, f.nodes)
+	}
+	out := dst[:f.nodes]
 	for v := range out {
 		out[v] = c.distAt(int32(v))
 	}

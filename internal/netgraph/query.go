@@ -7,6 +7,23 @@ package netgraph
 // heap with decrease-key. The core is equivalence-pinned against the
 // pre-freeze closure-driven Dijkstra (see legacy.go and the differential
 // tests): identical latencies bit for bit, identical tie-broken paths.
+//
+// On top of the plain core sit two goal-directed variants used by the
+// overlay (overlay.go) for long-haul point-to-point queries:
+//
+//   - astar: best-first search keyed by dist+π for an admissible heuristic
+//     π, stopping at the first settle of dst. Its result is the length of a
+//     real path, so it is an upper bound on the true distance (and equal to
+//     it whenever π is consistent, the common case). It runs on a separate
+//     lazy-deletion heap whose entries embed their keys, because its keys
+//     are not the dist[] values the decrease-key heap orders by.
+//   - dijkstraPruned: the exact legacy-order Dijkstra with one extra skip —
+//     a relaxation whose candidate distance nd has nd+π(v) > bound cannot
+//     lie on any path better than bound. With bound ≥ the true distance and
+//     π admissible, every relaxation that determines the unpruned run's
+//     reported path survives (each such node u lies on a shortest path, so
+//     dist[u]+π(u) ≤ d* ≤ bound), so the pruned run's reported path and
+//     length are bit-identical to the unpruned legacy order.
 
 import (
 	"math"
@@ -30,7 +47,10 @@ type csr struct {
 // queryCtx is the reusable Dijkstra scratch: dist/prev/heap arrays sized to
 // the graph, validity tracked by a generation stamp so starting a new query
 // is O(1) instead of an O(n) clear. A node's dist/prev/hpos entries are
-// meaningful only when stamp[v] == gen.
+// meaningful only when stamp[v] == gen. The pi arrays memoise heuristic
+// evaluations for the goal-directed variants under their own generation, so
+// a two-phase query (astar then dijkstraPruned against the same
+// destination) evaluates π once per node across both phases.
 type queryCtx struct {
 	dist  []float64
 	prev  []int32
@@ -38,6 +58,22 @@ type queryCtx struct {
 	hpos  []int32 // heap index of a queued node; -1 once popped
 	heap  []int32 // 4-ary min-heap of node ids keyed by dist
 	gen   uint32
+
+	// A* scratch: lazy-deletion heap of (key, node) entries plus the
+	// heuristic memo shared with the pruned pass.
+	fheap   []hentry
+	pi      []float64
+	piStamp []uint32
+	piGen   uint32
+}
+
+// hentry is one pending A* heap entry: a node and the key it was pushed
+// with. Entries are never updated in place — an improvement pushes a fresh
+// entry and the superseded one is discarded when popped (its key no longer
+// matches the node's current dist+π).
+type hentry struct {
+	d float64
+	v int32
 }
 
 var ctxPool = sync.Pool{New: func() any { return new(queryCtx) }}
@@ -51,18 +87,28 @@ func getCtx(n int) *queryCtx {
 		c.prev = make([]int32, n)
 		c.stamp = make([]uint32, n)
 		c.hpos = make([]int32, n)
+		c.pi = make([]float64, n)
+		c.piStamp = make([]uint32, n)
 	}
 	c.dist = c.dist[:n]
 	c.prev = c.prev[:n]
 	c.stamp = c.stamp[:n]
 	c.hpos = c.hpos[:n]
+	c.pi = c.pi[:n]
+	c.piStamp = c.piStamp[:n]
+	c.next()
+	return c
+}
+
+// next opens a fresh query generation on an already-sized context — the
+// batched fan-outs call it between sources to skip the pool round-trip.
+func (c *queryCtx) next() {
 	c.heap = c.heap[:0]
 	c.gen++
 	if c.gen == 0 { // wrapped: stale stamps could alias the new generation
 		clear(c.stamp[:cap(c.stamp)])
 		c.gen = 1
 	}
-	return c
 }
 
 func putCtx(c *queryCtx) { ctxPool.Put(c) }
@@ -187,6 +233,182 @@ func (c *queryCtx) dijkstra(g csr, src, dst int32) {
 			for k := lo; k < hi; k++ {
 				v := g.adj[k]
 				c.relax(u, v, du+units.PropagationDelayMs(pu.Distance(g.pos[v])))
+			}
+		}
+	}
+}
+
+// heuristic is a lower bound on the remaining distance to a fixed query
+// destination; evaluations are memoised per node in the context's pi cache.
+type heuristic interface {
+	eval(v int32) float64
+}
+
+// beginHeur opens a fresh heuristic-memo generation (one per two-phase
+// query: astar and the following dijkstraPruned share the cache).
+func (c *queryCtx) beginHeur() {
+	c.piGen++
+	if c.piGen == 0 {
+		clear(c.piStamp[:cap(c.piStamp)])
+		c.piGen = 1
+	}
+}
+
+func (c *queryCtx) hval(v int32, h heuristic) float64 {
+	if c.piStamp[v] != c.piGen {
+		c.pi[v] = h.eval(v)
+		c.piStamp[v] = c.piGen
+	}
+	return c.pi[v]
+}
+
+func (a hentry) fless(b hentry) bool {
+	if a.d != b.d {
+		return a.d < b.d
+	}
+	return a.v < b.v
+}
+
+func (c *queryCtx) pushF(e hentry) {
+	h := append(c.fheap, e)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !e.fless(h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = e
+	c.fheap = h
+}
+
+func (c *queryCtx) popF() hentry {
+	h := c.fheap
+	e := h[0]
+	last := len(h) - 1
+	tail := h[last]
+	h = h[:last]
+	i := 0
+	for last > 0 {
+		lo := i<<2 + 1
+		if lo >= last {
+			break
+		}
+		hi := lo + 4
+		if hi > last {
+			hi = last
+		}
+		m := lo
+		for k := lo + 1; k < hi; k++ {
+			if h[k].fless(h[m]) {
+				m = k
+			}
+		}
+		if !h[m].fless(tail) {
+			break
+		}
+		h[i] = h[m]
+		i = m
+	}
+	if last > 0 {
+		h[i] = tail
+	}
+	c.fheap = h
+	return e
+}
+
+// astar runs best-first search from src keyed by dist+π and returns the
+// distance label of dst at its first settle, or +Inf when dst is
+// unreachable. With π admissible the label is the length of a real path —
+// an upper bound on the true distance, exact when π is also consistent.
+// Improvements re-push (lazy deletion), so a slightly inconsistent π (e.g.
+// floating-point rounding at the ulp level) still terminates and still
+// returns a genuine path length. dist/prev are left populated for the
+// explored region but callers must not treat them as settled shortest
+// paths; the exact answer comes from the dijkstraPruned pass that follows.
+func (c *queryCtx) astar(g csr, src, dst int32, h heuristic) float64 {
+	c.fheap = c.fheap[:0]
+	c.stamp[src] = c.gen
+	c.dist[src] = 0
+	c.prev[src] = -1
+	c.pushF(hentry{c.hval(src, h), src})
+	for len(c.fheap) > 0 {
+		e := c.popF()
+		u := e.v
+		if e.d != c.dist[u]+c.hval(u, h) {
+			continue // stale: superseded by a later, better push
+		}
+		if u == dst {
+			return c.dist[u]
+		}
+		du := c.dist[u]
+		lo, hi := g.off[u], g.off[u+1]
+		if g.w != nil {
+			for k := lo; k < hi; k++ {
+				c.relaxAstar(u, g.adj[k], du+g.w[k], h)
+			}
+		} else {
+			pu := g.pos[u]
+			for k := lo; k < hi; k++ {
+				v := g.adj[k]
+				c.relaxAstar(u, v, du+units.PropagationDelayMs(pu.Distance(g.pos[v])), h)
+			}
+		}
+	}
+	return math.Inf(1)
+}
+
+func (c *queryCtx) relaxAstar(u, v int32, nd float64, h heuristic) {
+	if c.stamp[v] != c.gen {
+		c.stamp[v] = c.gen
+		c.dist[v] = nd
+		c.prev[v] = u
+		c.pushF(hentry{nd + c.hval(v, h), v})
+		return
+	}
+	if nd < c.dist[v] {
+		c.dist[v] = nd
+		c.prev[v] = u
+		c.pushF(hentry{nd + c.hval(v, h), v})
+	}
+}
+
+// dijkstraPruned is dijkstra with goal-directed pruning: a relaxation is
+// skipped when its candidate distance plus the heuristic's lower bound on
+// the remaining leg already exceeds bound. See the package comment above
+// for why the reported path stays bit-identical.
+func (c *queryCtx) dijkstraPruned(g csr, src, dst int32, h heuristic, bound float64) {
+	c.stamp[src] = c.gen
+	c.dist[src] = 0
+	c.prev[src] = -1
+	c.push(src)
+	for len(c.heap) > 0 {
+		u := c.popMin()
+		if u == dst {
+			return
+		}
+		du := c.dist[u]
+		lo, hi := g.off[u], g.off[u+1]
+		if g.w != nil {
+			for k := lo; k < hi; k++ {
+				v := g.adj[k]
+				nd := du + g.w[k]
+				if nd+c.hval(v, h) > bound {
+					continue
+				}
+				c.relax(u, v, nd)
+			}
+		} else {
+			pu := g.pos[u]
+			for k := lo; k < hi; k++ {
+				v := g.adj[k]
+				nd := du + units.PropagationDelayMs(pu.Distance(g.pos[v]))
+				if nd+c.hval(v, h) > bound {
+					continue
+				}
+				c.relax(u, v, nd)
 			}
 		}
 	}

@@ -115,6 +115,13 @@ func NewPropagator(e Elements, opts Options) (*Propagator, error) {
 // Elements returns the epoch elements the propagator was built from.
 func (p *Propagator) Elements() Elements { return p.elems }
 
+// RAANRateRadS returns the secular RAAN drift rate the propagator actually
+// applies — J2NodalRateRadS when the J2 option is enabled, zero otherwise.
+// Consumers that model orbital-plane motion analytically (netgraph's
+// incremental freeze certificates) need the applied rate, not the nominal
+// one, so their plane normals track the propagated positions exactly.
+func (p *Propagator) RAANRateRadS() float64 { return p.raanRate }
+
 // ECIAt returns the inertial-frame position at t seconds after epoch.
 func (p *Propagator) ECIAt(tSec float64) geo.Vec3 {
 	u := p.argLat0 + p.meanRate*tSec

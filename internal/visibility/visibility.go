@@ -129,6 +129,13 @@ func NewObserverWithMask(c *constellation.Constellation, elevDeg float64) *Obser
 // Constellation returns the constellation the observer watches.
 func (o *Observer) Constellation() *constellation.Constellation { return o.c }
 
+// MaxChord2 returns the per-satellite squared slant-range thresholds the
+// visibility test compares against (indexed by satellite ID). The slice is
+// shared — callers must treat it as read-only. It lets bulk consumers
+// (netgraph's incremental freeze) replicate Visible's exact compare without
+// a per-pair method call.
+func (o *Observer) MaxChord2() []float64 { return o.maxChord2 }
+
 // Visible reports whether satellite id at position sat (ECEF) is reachable
 // from ground (ECEF).
 func (o *Observer) Visible(ground geo.Vec3, id int, sat geo.Vec3) bool {
