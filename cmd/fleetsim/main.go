@@ -62,6 +62,8 @@ type options struct {
 	maxUsers int
 	churn    float64 // extra transient arrivals per second
 	dwellSec float64 // mean lifetime of transient sessions
+	demand   float64 // per-session cores demand
+	shards   int     // planner footprint-region shards (0 = auto)
 	csvPath  string
 	debug    string
 	progress bool
@@ -101,6 +103,8 @@ func parseFlags(args []string) (options, error) {
 	fs.IntVar(&o.maxUsers, "maxusers", 5, "largest group size")
 	fs.Float64Var(&o.churn, "churn", 2, "transient session arrivals per second (0 disables churn)")
 	fs.Float64Var(&o.dwellSec, "dwell", 1800, "mean transient session lifetime in seconds")
+	fs.Float64Var(&o.demand, "demand", 0.5, "per-session compute demand in cores")
+	fs.IntVar(&o.shards, "shards", 0, "planner footprint-region shards (0 = one per worker)")
 	fs.StringVar(&o.csvPath, "csv", "", "per-epoch CSV output path (empty = off)")
 	fs.StringVar(&o.debug, "debug", "", "debug listen address for /metrics, /healthz, /debug/pprof (empty = off)")
 	fs.BoolVar(&o.progress, "v", false, "log per-epoch progress to stderr")
@@ -144,6 +148,12 @@ func parseFlags(args []string) (options, error) {
 	}
 	if o.churn < 0 || o.dwellSec <= 0 {
 		return o, fmt.Errorf("churn %v and dwell %v must be non-negative/positive", o.churn, o.dwellSec)
+	}
+	if o.demand <= 0 {
+		return o, fmt.Errorf("demand %v must be positive", o.demand)
+	}
+	if o.shards < 0 {
+		return o, fmt.Errorf("shards %d must be non-negative", o.shards)
 	}
 	if o.satMTBFHr < 0 || o.islFlapHr < 0 {
 		return o, fmt.Errorf("sat-mtbf %v and isl-flap %v must be non-negative", o.satMTBFHr, o.islFlapHr)
@@ -234,6 +244,7 @@ func buildWorkload(o options, horizonSec float64) (persistent []*fleet.Session, 
 			return nil, nil, err
 		}
 		s.StateMB = trace.StateSizeMB(r, 64, 0.5)
+		s.CoresDemand = o.demand
 		if i < o.sessions {
 			persistent = append(persistent, s)
 			continue
@@ -264,7 +275,13 @@ func run(out io.Writer, o options) error {
 			return err
 		}
 	}
-	orch, err := fleet.New(c, nil, fleet.Config{StepSec: o.stepSec, Registry: reg, Faults: inj})
+	orch, err := fleet.New(c, nil, fleet.Config{
+		StepSec:          o.stepSec,
+		PlannerShards:    o.shards,
+		ExpectedSessions: o.sessions,
+		Registry:         reg,
+		Faults:           inj,
+	})
 	if err != nil {
 		return err
 	}
@@ -519,20 +536,13 @@ func (ct *chaosTotals) fold(rep fleet.EpochReport) {
 
 // report prints the fleet summary: population, hand-off pressure, placement
 // latency quantiles, and how the load spread over the satellite-servers.
+// Everything fleet-side comes off one fleet.Stats snapshot instead of
+// scraping obs metric families by name.
 func report(out io.Writer, orch *fleet.Orchestrator, in reportInputs) error {
-	sessions := orch.Table().Len()
+	st := orch.Stats()
 	hours := in.horizonSec / 3600
 
-	util := stats.NewCDF(orch.Utilization()...)
-	loaded := 0
-	for _, u := range orch.Utilization() {
-		if u > 0 {
-			loaded++
-		}
-	}
-	lat := stats.NewCDF(orch.PlacementLatencySamples()...)
-
-	sessionHours := float64(sessions) * hours // steady-state approximation
+	sessionHours := float64(st.Sessions) * hours // steady-state approximation
 	handoffRate := 0.0
 	if sessionHours > 0 {
 		handoffRate = float64(in.handoffs) / sessionHours
@@ -540,7 +550,7 @@ func report(out io.Writer, orch *fleet.Orchestrator, in reportInputs) error {
 
 	fmt.Fprintf(out, "\nfleet report — %d epochs, %.1f h simulated\n", in.epochs, hours)
 	rows := [][]string{
-		{"sessions (final / peak)", fmt.Sprintf("%d / %d", sessions, in.peakSessions)},
+		{"sessions (final / peak)", fmt.Sprintf("%d / %d", st.Sessions, in.peakSessions)},
 		{"initial placements", fmt.Sprintf("%d", in.placements)},
 		{"hand-offs", fmt.Sprintf("%d (%.2f per session-hour)", in.handoffs, handoffRate)},
 		{"rejections", fmt.Sprintf("%d", in.rejections)},
@@ -548,10 +558,11 @@ func report(out io.Writer, orch *fleet.Orchestrator, in reportInputs) error {
 		{"mean transfer latency", fmt.Sprintf("%.2f ms one-way", in.transfer.Mean())},
 		{"mean migration downtime", fmt.Sprintf("%.1f ms", in.downtime.Mean()*1000)},
 		{"placement latency", fmt.Sprintf("p50 %.1f µs, p90 %.1f µs, p99 %.1f µs",
-			lat.Quantile(0.50)*1e6, lat.Quantile(0.90)*1e6, lat.Quantile(0.99)*1e6)},
-		{"satellites loaded", fmt.Sprintf("%d of %d", loaded, orch.Constellation().Size())},
+			st.ReplanMs.P50*1000, st.ReplanMs.P90*1000, st.ReplanMs.P99*1000)},
+		{"planner shards", shardLine(st)},
+		{"satellites loaded", fmt.Sprintf("%d of %d", st.LoadedSats, st.Satellites)},
 		{"core utilisation", fmt.Sprintf("mean %.1f%%, p50 %.1f%%, p90 %.1f%%, max %.1f%%",
-			100*mean(orch.Utilization()), 100*util.Quantile(0.50), 100*util.Quantile(0.90), 100*util.Max())},
+			100*st.MeanUtilization, 100*st.UtilizationP50, 100*st.UtilizationP90, 100*st.UtilizationMax)},
 		{"ephemeris cache", ephemLine(orch.Ephemeris().Stats())},
 		{"frozen-graph routing", netgraphLine(netgraph.TotalStats())},
 	}
@@ -613,15 +624,24 @@ func netgraphLine(s netgraph.Stats) string {
 		s.Queries(), s.PathQueries, s.SSSPQueries, s.ISLQueries, s.Freezes, s.DeltaFreezes)
 }
 
-func mean(xs []float64) float64 {
-	if len(xs) == 0 {
-		return 0
+// shardLine summarises the planner's footprint-region shard utilisation
+// from the last epoch: how even the per-region work split came out.
+func shardLine(st fleet.Stats) string {
+	if len(st.ShardWork) == 0 {
+		return fmt.Sprintf("%d (no epochs yet)", st.PlannerShards)
 	}
-	s := 0.0
-	for _, x := range xs {
-		s += x
+	total, max := 0, 0
+	for _, w := range st.ShardWork {
+		total += w
+		if w > max {
+			max = w
+		}
 	}
-	return s / float64(len(xs))
+	if total == 0 {
+		return fmt.Sprintf("%d (idle last epoch)", st.PlannerShards)
+	}
+	balance := float64(max) * float64(len(st.ShardWork)) / float64(total)
+	return fmt.Sprintf("%d (last epoch: %d items, max/mean %.2f)", st.PlannerShards, total, balance)
 }
 
 func main() {

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -22,6 +24,9 @@ func TestParseFlags(t *testing.T) {
 		{"-minusers", "5", "-maxusers", "2"},
 		{"-churn", "-1"},
 		{"-dwell", "0"},
+		{"-demand", "0"},
+		{"-demand", "-0.5"},
+		{"-shards", "-1"},
 		{"-nope"},
 	}
 	for _, args := range bad {
@@ -200,6 +205,103 @@ func TestRunChaosDeterministic(t *testing.T) {
 	} {
 		if !strings.Contains(out1, want) {
 			t.Fatalf("chaos run output missing %q:\n%s", want, out1)
+		}
+	}
+}
+
+// goldenFlags is the fixed scenario behind testdata/telesat_*.csv: a
+// churn-heavy quarter-hour telesat run whose per-epoch decisions were
+// captured before the planner was sharded and streamed. chaos adds the
+// fault-injection flags of the chaos golden.
+func goldenFlags(chaos bool, extra ...string) []string {
+	args := []string{
+		"-name", "telesat", "-sessions", "300", "-hours", "0.25", "-churn", "20", "-seed", "7",
+	}
+	if chaos {
+		args = append(args, "-sat-mtbf", "40", "-sat-mttr", "300", "-mig-fail", "0.05", "-isl-flap", "0.5")
+	}
+	return append(args, extra...)
+}
+
+func runCSV(t *testing.T, args []string) string {
+	t.Helper()
+	path := t.TempDir() + "/run.csv"
+	o, err := parseFlags(append(args, "-csv", path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := run(&b, o); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestRunGolden pins the planner's decisions to CSVs captured from the
+// pre-sharding implementation: refactors of the epoch planner must not
+// change a single placement, hand-off, or rejection on a fixed seed.
+func TestRunGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden runs simulate 15 epochs of telesat")
+	}
+	for _, tc := range []struct {
+		name   string
+		chaos  bool
+		golden string
+	}{
+		{"plain", false, "testdata/telesat_plain.csv"},
+		{"chaos", true, "testdata/telesat_chaos.csv"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			want, err := os.ReadFile(tc.golden)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := runCSV(t, goldenFlags(tc.chaos)); got != string(want) {
+				t.Fatalf("CSV diverged from %s:\n--- got ---\n%s\n--- want ---\n%s", tc.golden, got, want)
+			}
+		})
+	}
+}
+
+// TestRunShardInvariance: the planner's footprint-region shard count must
+// never change its decisions — every -shards value reproduces the golden
+// CSV byte for byte.
+func TestRunShardInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invariance runs simulate 15 epochs of telesat per shard count")
+	}
+	want, err := os.ReadFile("testdata/telesat_plain.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 3, 16} {
+		if got := runCSV(t, goldenFlags(false, "-shards", fmt.Sprint(shards))); got != string(want) {
+			t.Fatalf("-shards %d diverged from golden CSV:\n%s", shards, got)
+		}
+	}
+}
+
+// TestRunGOMAXPROCSInvariance: worker parallelism must never change the
+// planner's decisions — the golden CSV reproduces under 1, 2, and 8 procs.
+func TestRunGOMAXPROCSInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invariance runs simulate 15 epochs of telesat per GOMAXPROCS")
+	}
+	want, err := os.ReadFile("testdata/telesat_plain.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, procs := range []int{1, 2, 8} {
+		runtime.GOMAXPROCS(procs)
+		if got := runCSV(t, goldenFlags(false)); got != string(want) {
+			t.Fatalf("GOMAXPROCS=%d diverged from golden CSV:\n%s", procs, got)
 		}
 	}
 }

@@ -19,6 +19,7 @@
 package inorbit
 
 import (
+	"repro/internal/compute"
 	"repro/internal/constellation"
 	"repro/internal/core"
 	"repro/internal/ephem"
@@ -137,8 +138,21 @@ func (s *Service) Ephemeris() Ephemeris { return s.Service.Ephemeris() }
 // options (WithStepSec, WithFleet, WithWorkers, ...), sharing the
 // service's ISL grid and ephemeris engine. WithFaults arms it with a
 // fresh injector. Each call returns an independent orchestrator.
-func (s *Service) Fleet() (*Fleet, error) {
+func (s *Service) Fleet() (*Fleet, error) { return s.NewFleet() }
+
+// NewFleet builds a fleet orchestrator from the service's construction
+// options refined by per-orchestrator FleetOptions (WithFleetSessions,
+// WithFleetEpoch, WithFleetCapacity, WithFleetShards, ...). The
+// orchestrator shares the service's ISL grid and ephemeris engine;
+// WithFaults arms it with a fresh injector. Each call returns an
+// independent orchestrator.
+func (s *Service) NewFleet(opts ...FleetOption) (*Fleet, error) {
 	cfg := s.set.fleet
+	for _, o := range opts {
+		if o != nil {
+			o.applyFleet(&cfg)
+		}
+	}
 	cfg.Ephem = s.Service.Ephemeris()
 	if s.set.faults != nil {
 		inj, err := faults.New(s.Servers(), *s.set.faults)
@@ -185,12 +199,21 @@ type FleetConfig = fleet.Config
 // by a Fleet.
 type FleetSession = fleet.Session
 
+// FleetStats is the stable fleet snapshot returned by Fleet.Stats:
+// population, decision and fault counters, utilisation and latency
+// distributions, and the planner's shard-utilization view.
+type FleetStats = fleet.Stats
+
+// ServerSpec is the per-satellite compute payload, for WithServer and
+// WithFleetCapacity.
+type ServerSpec = compute.ServerSpec
+
 // NewFleet builds a fleet orchestrator over the service's constellation,
 // sharing its ISL grid and ephemeris engine.
 //
-// Deprecated: build the service with the fleet options you need
-// (WithStepSec, WithFleet, WithFaults) and call Service.Fleet instead;
-// this constructor ignores the service's construction options.
+// Deprecated: call Service.NewFleet with per-orchestrator FleetOptions
+// (WithFleetSessions, WithFleetEpoch, WithFleetCapacity, WithFleetShards)
+// instead; this constructor ignores the service's construction options.
 func NewFleet(svc *Service, cfg FleetConfig) (*Fleet, error) {
 	cfg.Ephem = svc.Service.Ephemeris()
 	return fleet.New(svc.Constellation(), svc.Grid(), cfg)

@@ -123,6 +123,88 @@ func TestFleetFacade(t *testing.T) {
 	}
 }
 
+// TestFleetOptionsEquivalence pins the deprecated package-level
+// NewFleet(svc, cfg) shim to the options path: the same tuning expressed
+// either way must run the same workload to identical epoch reports and
+// final assignments.
+func TestFleetOptionsEquivalence(t *testing.T) {
+	groups := [][]LatLon{
+		{{LatDeg: 9.06, LonDeg: 7.49}, {LatDeg: 8.5, LonDeg: 9.0}},
+		{{LatDeg: 51.5, LonDeg: -0.1}, {LatDeg: 48.9, LonDeg: 2.35}},
+		{{LatDeg: -23.5, LonDeg: -46.6}, {LatDeg: -22.9, LonDeg: -43.2}},
+	}
+	run := func(f *Fleet) ([]EpochReportLike, map[uint64]int) {
+		t.Helper()
+		for i, users := range groups {
+			s, err := NewFleetSession(uint64(i+1), users)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Submit(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := f.Start(0); err != nil {
+			t.Fatal(err)
+		}
+		var reps []EpochReportLike
+		for i := 0; i < 5; i++ {
+			rep, err := f.Step()
+			if err != nil {
+				t.Fatal(err)
+			}
+			reps = append(reps, EpochReportLike{rep.Sessions, rep.Assigned, rep.Placements, rep.Handoffs, rep.Rejections})
+		}
+		sats := map[uint64]int{}
+		for id := uint64(1); id <= uint64(len(groups)); id++ {
+			s, ok := f.Table().Get(id)
+			if !ok {
+				t.Fatalf("session %d missing", id)
+			}
+			sats[id] = s.Sat
+		}
+		return reps, sats
+	}
+
+	svc := service(t)
+	oldF, err := NewFleet(svc, FleetConfig{StepSec: 30, LookaheadSec: 900, PlannerShards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	newF, err := svc.NewFleet(WithFleetEpoch(30), WithFleetLookahead(900), WithFleetShards(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := newF.PlannerShards(); got != 3 {
+		t.Fatalf("PlannerShards = %d, want 3", got)
+	}
+	oldReps, oldSats := run(oldF)
+	newReps, newSats := run(newF)
+	for i := range oldReps {
+		if oldReps[i] != newReps[i] {
+			t.Fatalf("epoch %d diverged: old %+v new %+v", i, oldReps[i], newReps[i])
+		}
+	}
+	for id, sat := range oldSats {
+		if newSats[id] != sat {
+			t.Fatalf("session %d: old sat %d, new sat %d", id, sat, newSats[id])
+		}
+	}
+
+	st := newF.Stats()
+	if st.Sessions != len(groups) || st.Epochs != 5 {
+		t.Fatalf("Stats = %+v, want %d sessions over 5 epochs", st, len(groups))
+	}
+	if st.PlannerShards != 3 || len(st.ShardWork) != 3 {
+		t.Fatalf("Stats shards = %d (work %v), want 3", st.PlannerShards, st.ShardWork)
+	}
+}
+
+// EpochReportLike is the comparable core of an epoch report.
+type EpochReportLike struct {
+	Sessions, Assigned, Placements, Handoffs, Rejections int
+}
+
 // smallService builds a service over a 48-satellite custom shell so option
 // tests don't pay Starlink-scale construction per case.
 func smallService(t testing.TB, opts ...Option) *Service {

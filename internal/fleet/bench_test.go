@@ -1,0 +1,95 @@
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/constellation"
+	"repro/internal/geo"
+	"repro/internal/obs"
+)
+
+// benchAnchors are mid-latitude population centres the benchmark workload
+// clusters around — the same city-weighted shape fleetsim uses.
+var benchAnchors = []geo.LatLon{
+	{LatDeg: 9.1, LonDeg: 7.5},     // Abuja
+	{LatDeg: 51.5, LonDeg: -0.1},   // London
+	{LatDeg: 35.7, LonDeg: 139.7},  // Tokyo
+	{LatDeg: -23.5, LonDeg: -46.6}, // São Paulo
+	{LatDeg: 40.7, LonDeg: -74.0},  // New York
+	{LatDeg: 28.6, LonDeg: 77.2},   // Delhi
+	{LatDeg: -33.9, LonDeg: 151.2}, // Sydney
+	{LatDeg: 37.8, LonDeg: -122.4}, // San Francisco
+}
+
+// benchWorkload builds n two-user sessions scattered around the anchors.
+// Demand is 0.02 cores per session so a million sessions fit inside the
+// constellation's mid-latitude capacity band (~30% occupancy at 1M).
+func benchWorkload(b *testing.B, n int) []*Session {
+	b.Helper()
+	rng := rand.New(rand.NewSource(17))
+	out := make([]*Session, 0, n)
+	for i := 0; i < n; i++ {
+		a := benchAnchors[rng.Intn(len(benchAnchors))]
+		users := []geo.LatLon{
+			geo.Destination(a, rng.Float64()*360, 20+rng.Float64()*150),
+			geo.Destination(a, rng.Float64()*360, 20+rng.Float64()*150),
+		}
+		s, err := NewSession(uint64(i+1), users)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.CoresDemand = 0.02
+		s.MemoryGB = 0.05
+		out = append(out, s)
+	}
+	return out
+}
+
+// BenchmarkFleetScale measures the steady-state epoch cost of the sharded
+// streaming planner over the full Starlink Phase I constellation at 100k,
+// 300k, and 1M concurrent sessions. The reported us-per-session-epoch
+// metric is the scaling curve recorded in BENCH_fleet.json: it must not
+// grow with the population (sub-linear total cost), because per-epoch work
+// is dominated by the sessions that actually need re-placement and the
+// batched SSSP amortises better the more movers share a source satellite.
+func BenchmarkFleetScale(b *testing.B) {
+	c, err := constellation.StarlinkPhase1(constellation.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range []int{100_000, 300_000, 1_000_000} {
+		b.Run(fmt.Sprintf("sessions_%d", n), func(b *testing.B) {
+			o, err := New(c, nil, Config{
+				StepSec:          60,
+				ExpectedSessions: n,
+				Registry:         obs.NewRegistry(),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := o.SubmitBatch(benchWorkload(b, n)); err != nil {
+				b.Fatal(err)
+			}
+			if err := o.Start(0); err != nil {
+				b.Fatal(err)
+			}
+			// Warm epoch: the one-off initial placement of the whole
+			// population is not the steady-state cost being measured.
+			if _, err := o.Step(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := o.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			perSession := b.Elapsed().Seconds() * 1e6 / float64(b.N) / float64(n)
+			b.ReportMetric(perSession, "us-per-session-epoch")
+			b.ReportMetric(float64(n), "sessions")
+		})
+	}
+}

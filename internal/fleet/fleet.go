@@ -4,9 +4,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sort"
 	"sync"
-	"time"
 
 	"repro/internal/compute"
 	"repro/internal/constellation"
@@ -42,8 +40,19 @@ type Config struct {
 	PoolSize int
 	// CellDeg is the footprint-index cell size (default DefaultCellDeg).
 	CellDeg float64
-	// Shards is the session-table shard count (default DefaultShards).
+	// Shards is the session-table shard count (default DefaultShards, or
+	// scaled up from ExpectedSessions when that is larger).
 	Shards int
+	// PlannerShards is how many footprint-region queues the epoch planner
+	// splits its work across (default Workers). Region queues sort and
+	// propose independently and merge back in session-ID order, so the
+	// planner's output is byte-identical for every shard count; shards only
+	// bound parallelism and bowl memory into region-local chunks.
+	PlannerShards int
+	// ExpectedSessions sizes the session table and per-epoch planner
+	// scratch for the intended population (default 0 = modest). It is a
+	// hint: the orchestrator grows past it without error.
+	ExpectedSessions int
 	// Workers bounds the parallelism of the detection and proposal phases
 	// (default GOMAXPROCS).
 	Workers int
@@ -96,6 +105,20 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.ExpectedSessions < 0 {
+		return c, fmt.Errorf("fleet: expected sessions %d must be non-negative", c.ExpectedSessions)
+	}
+	if c.PlannerShards == 0 {
+		c.PlannerShards = c.Workers
+	}
+	if c.PlannerShards < 0 {
+		return c, fmt.Errorf("fleet: planner shards %d must be positive", c.PlannerShards)
+	}
+	if c.Shards == 0 && c.ExpectedSessions > 0 {
+		// Keep shard occupancy near a few thousand sessions so shard-scan
+		// chunks stay cache-friendly at million-session populations.
+		c.Shards = c.ExpectedSessions / 2048
 	}
 	if c.Server == (compute.ServerSpec{}) {
 		c.Server = compute.DefaultServerSpec()
@@ -197,23 +220,22 @@ type Orchestrator struct {
 	k    int
 	now  float64
 
+	// net is the groundless routing view of the constellation: the same
+	// ISL grid as the planner, no ground nodes, so an SSSP over its frozen
+	// CSR prices exactly the ISL-only transfer paths. nsnap is the current
+	// epoch's snapshot, chained through AtAfter on every Step.
+	net   *netgraph.Network
+	nsnap *netgraph.Snapshot
+
 	started      bool
 	nAssigned    int
 	nEvacPending int // sessions off a failed satellite, not yet re-placed
 	epochISL     int // ISL-degraded transfers seen this epoch (serial phase)
 	m            *metricsSet
 
-	// islMemo caches per-epoch ISL one-way latencies keyed a<<32|b; the
-	// underlying Dijkstra dominates hand-off costing without it because
-	// city-anchored sessions migrate between the same few satellite pairs.
-	islMemo map[uint64]float64
-
-	latSamples []float64
+	tot totals       // cumulative decision counters backing Stats
+	pl  plannerState // reusable per-epoch planner scratch (planner.go)
 }
-
-// maxLatencySamples bounds the retained placement-latency samples (the obs
-// histogram keeps counting past the cap).
-const maxLatencySamples = 1 << 21
 
 // New builds an orchestrator over the constellation. grid may be nil to
 // build a +grid ISL topology; pass a shared one to avoid rebuilding.
@@ -245,17 +267,19 @@ func New(c *constellation.Constellation, grid *isl.Grid, cfg Config) (*Orchestra
 			Registry:    cfg.Registry,
 		})
 	}
+	net := netgraph.New(c, nil).UseEphemeris(eng)
+	net.Grid = grid // route transfers over the planner's own topology
 	o := &Orchestrator{
-		c:       c,
-		eng:     eng,
-		obs:     idx.Observer(),
-		grid:    grid,
-		idx:     idx,
-		tab:     NewTable(cfg.Shards),
-		cfg:     cfg,
-		nodes:   make([]*compute.Node, c.Size()),
-		m:       newMetrics(cfg.Registry),
-		islMemo: make(map[uint64]float64),
+		c:     c,
+		eng:   eng,
+		obs:   idx.Observer(),
+		grid:  grid,
+		idx:   idx,
+		tab:   NewTableSized(cfg.Shards, cfg.ExpectedSessions),
+		cfg:   cfg,
+		nodes: make([]*compute.Node, c.Size()),
+		net:   net,
+		m:     newMetrics(cfg.Registry),
 	}
 	for id := range o.nodes {
 		n, err := compute.NewNode(id, cfg.Server)
@@ -264,6 +288,7 @@ func New(c *constellation.Constellation, grid *isl.Grid, cfg Config) (*Orchestra
 		}
 		o.nodes[id] = n
 	}
+	o.pl.init(o)
 	return o, nil
 }
 
@@ -283,6 +308,9 @@ func (o *Orchestrator) Ephemeris() *ephem.Engine { return o.eng }
 // Now returns the current simulated time.
 func (o *Orchestrator) Now() float64 { return o.now }
 
+// PlannerShards returns the resolved footprint-region shard count.
+func (o *Orchestrator) PlannerShards() int { return o.cfg.PlannerShards }
+
 // Utilization returns the per-satellite core utilisation, indexed by
 // satellite ID.
 func (o *Orchestrator) Utilization() []float64 {
@@ -292,11 +320,6 @@ func (o *Orchestrator) Utilization() []float64 {
 	}
 	return out
 }
-
-// PlacementLatencySamples returns the recorded per-session proposal
-// latencies in seconds (capped at maxLatencySamples; wall-clock, so values
-// are non-deterministic while their order is).
-func (o *Orchestrator) PlacementLatencySamples() []float64 { return o.latSamples }
 
 // Submit adds a session to the fleet; it is placed on the next Step.
 func (o *Orchestrator) Submit(s *Session) error {
@@ -362,6 +385,7 @@ func (o *Orchestrator) Start(t0 float64) error {
 		o.cfg.Faults.Advance(t0)
 	}
 	o.now = t0
+	o.nsnap = o.net.At(t0)
 	o.started = true
 	return nil
 }
@@ -420,15 +444,10 @@ type candidate struct {
 	life int // remaining epochs of full-group visibility, capped at o.k
 }
 
-// proposal is the ranked admission order for one work item.
-type proposal struct {
-	ranked []candidate
-	latSec float64
-}
-
 // workItem is one session needing placement this epoch.
 type workItem struct {
 	sess       *Session
+	region     int32 // footprint-region planner shard
 	expiring   bool
 	evacuating bool // current satellite hard-failed: move now, not at expiry
 }
@@ -460,368 +479,6 @@ func (o *Orchestrator) deferEvacuation(s *Session, rep *EpochReport) {
 	}
 }
 
-// parallelFor splits [0,n) into contiguous chunks across the configured
-// workers. Chunked ranges keep writes to per-index slots deterministic.
-func (o *Orchestrator) parallelFor(n int, f func(lo, hi int)) {
-	workers := o.cfg.Workers
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		if n > 0 {
-			f(0, n)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			f(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
-}
-
-// Step runs one planner epoch at the current simulated time: removes
-// departed sessions, detects assignments about to lose visibility,
-// re-places them (and places arrivals) under load-aware admission, costs
-// the resulting migrations, then advances the clock by one step.
-func (o *Orchestrator) Step() (EpochReport, error) {
-	if !o.started {
-		return EpochReport{}, fmt.Errorf("fleet: Start must be called before Step")
-	}
-	wall := time.Now()
-	rep := EpochReport{TSec: o.now}
-	o.epochISL = 0
-	for k := range o.islMemo {
-		delete(o.islMemo, k)
-	}
-
-	// Phase A0 — fault events: consume everything the injector fired up to
-	// this epoch. Failed satellites are detected below; recovered ones are
-	// simply eligible again.
-	if f := o.cfg.Faults; f != nil {
-		for _, ev := range f.Advance(o.now) {
-			switch ev.Kind {
-			case faults.SatFail:
-				rep.SatFailures++
-				o.m.faultSatFail.Inc()
-			case faults.SatRecover:
-				rep.SatRecoveries++
-				o.m.faultSatRec.Inc()
-			}
-		}
-		rep.DownSats = f.DownCount()
-	}
-
-	// Phase A — detection, parallel across table shards: find departures
-	// and sessions needing (re-)placement. Sessions on a hard-failed
-	// satellite evacuate immediately, ahead of their visibility expiry;
-	// sessions inside a retry backoff window are deferred.
-	nShards := o.tab.NumShards()
-	workByShard := make([][]workItem, nShards)
-	goneByShard := make([][]*Session, nShards)
-	deferByShard := make([]int, nShards)
-	o.parallelFor(nShards, func(lo, hi int) {
-		for si := lo; si < hi; si++ {
-			o.tab.Shard(si, func(m map[uint64]*Session) {
-				for _, s := range m {
-					switch {
-					case s.ExpiresAt <= o.now:
-						goneByShard[si] = append(goneByShard[si], s)
-					case s.Sat >= 0 && !o.satUp(s.Sat):
-						// A dead satellite overrides any retry backoff: the
-						// session must evacuate now, not when its timer says.
-						workByShard[si] = append(workByShard[si], workItem{sess: s, evacuating: true})
-					case s.RetryAt > o.now:
-						deferByShard[si]++
-					case s.Sat < 0:
-						workByShard[si] = append(workByShard[si], workItem{sess: s})
-					case !o.visibleAll(s, s.Sat, o.ring[1]):
-						workByShard[si] = append(workByShard[si], workItem{sess: s, expiring: true})
-					}
-				}
-			})
-		}
-	})
-	for _, n := range deferByShard {
-		rep.BackoffDeferrals += n
-	}
-	o.m.retryDeferred.Add(uint64(rep.BackoffDeferrals))
-	var work []workItem
-	var gone []*Session
-	for si := 0; si < nShards; si++ {
-		work = append(work, workByShard[si]...)
-		gone = append(gone, goneByShard[si]...)
-	}
-	sort.Slice(work, func(i, j int) bool { return work[i].sess.ID < work[j].sess.ID })
-	sort.Slice(gone, func(i, j int) bool { return gone[i].ID < gone[j].ID })
-
-	for _, s := range gone {
-		if s.Sat >= 0 {
-			_ = o.nodes[s.Sat].Release(int(s.ID))
-			s.Sat = -1
-			o.nAssigned--
-		}
-		if s.Evacuating {
-			s.Evacuating = false
-			o.nEvacPending--
-		}
-		o.tab.Delete(s.ID)
-		rep.Departures++
-	}
-	o.m.departures.Add(uint64(rep.Departures))
-
-	// Phase B — proposals, parallel across work items: each session gets a
-	// deterministic ranked candidate list (read-only over ring and index).
-	proposals := make([]proposal, len(work))
-	o.parallelFor(len(work), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			proposals[i] = o.propose(work[i].sess)
-		}
-	})
-
-	// Phase C — admission, serial in session-ID order: first candidate
-	// with spare capacity wins; sessions spill down their ranking when a
-	// satellite is full, and are rejected (retrying next epoch) when none
-	// fits.
-	task := func(s *Session) compute.Task {
-		return compute.Task{ID: int(s.ID), Cores: s.CoresDemand, MemoryGB: s.MemoryGB}
-	}
-	for i, w := range work {
-		s := w.sess
-		evac := w.evacuating || s.Evacuating
-		if w.expiring {
-			rep.Expiring++
-		}
-		if s.Retries > 0 {
-			o.m.migRetries.Inc()
-		}
-		chosen := candidate{id: -1}
-		for _, cand := range proposals[i].ranked {
-			if cand.id == s.Sat || o.nodes[cand.id].Fits(task(s)) {
-				chosen = cand
-				break
-			}
-		}
-		if chosen.id < 0 {
-			if s.Sat >= 0 {
-				_ = o.nodes[s.Sat].Release(int(s.ID))
-				s.Sat = -1
-				o.nAssigned--
-			}
-			rep.Rejections++
-			if evac {
-				o.deferEvacuation(s, &rep)
-			}
-			continue
-		}
-		if chosen.id == s.Sat {
-			// Nothing better had room; hold the current satellite until it
-			// actually sets. (A failed satellite is never ranked, so an
-			// evacuating session cannot take this path.)
-			s.RTTMs = chosen.rtt
-			continue
-		}
-		if s.Sat >= 0 {
-			from := s.Sat
-			// An injected transfer failure aborts the migration before any
-			// capacity moves: the session backs off and retries later,
-			// holding its current satellite when that is still alive.
-			if f := o.cfg.Faults; f != nil && !f.MigrationOK(s.ID, from, chosen.id, s.Retries) {
-				rep.MigrationFailures++
-				o.m.faultMig.Inc()
-				s.Retries++
-				s.RetryAt = o.now + o.backoffSec(s.Retries)
-				if evac {
-					// The source is gone: the session rides out the backoff
-					// unassigned (its state restores from the replicated
-					// checkpoint on the next attempt).
-					_ = o.nodes[from].Release(int(s.ID))
-					s.Sat = -1
-					o.nAssigned--
-					o.deferEvacuation(s, &rep)
-				}
-				continue
-			}
-			if err := o.nodes[chosen.id].Place(task(s)); err != nil {
-				return rep, fmt.Errorf("fleet: admission of session %d: %w", s.ID, err)
-			}
-			_ = o.nodes[from].Release(int(s.ID))
-			transfer := o.transferMs(from, chosen.id, s.Centroid)
-			res, merr := migrate.Live(
-				migrate.State{SessionMB: s.StateMB, DirtyRateMBps: o.cfg.DirtyRateMBps},
-				migrate.Link{BandwidthMBps: migrate.GbpsToMBps(o.cfg.ISLBandwidthGbps), OneWayMs: transfer},
-				migrate.LiveConfig{GenericReplicatedAhead: true},
-			)
-			if merr != nil {
-				return rep, fmt.Errorf("fleet: migration cost of session %d: %w", s.ID, merr)
-			}
-			rep.Handoffs++
-			s.Handoffs++
-			rep.Transfer.Add(transfer)
-			rep.Downtime.Add(res.DowntimeSec)
-			o.m.transferMs.Observe(transfer)
-			o.m.transferQ.Observe(transfer)
-			o.m.handoffs.Inc()
-			o.m.placeHandoff.Inc()
-		} else {
-			// Unassigned (re-)placements restore from the pre-replicated
-			// generic state plus checkpoint, so no transfer coin is flipped.
-			if err := o.nodes[chosen.id].Place(task(s)); err != nil {
-				return rep, fmt.Errorf("fleet: admission of session %d: %w", s.ID, err)
-			}
-			rep.Placements++
-			o.nAssigned++
-			o.m.placeInitial.Inc()
-		}
-		if evac {
-			rep.Evacuations++
-			o.m.evacOK.Inc()
-			if s.Evacuating {
-				s.Evacuating = false
-				o.nEvacPending--
-			}
-		}
-		s.Sat = chosen.id
-		s.PlacedAt = o.now
-		s.RTTMs = chosen.rtt
-		s.Retries, s.RetryAt = 0, 0
-	}
-	o.m.rejections.Add(uint64(rep.Rejections))
-	for i := range proposals {
-		o.m.placeLat.Observe(proposals[i].latSec)
-		o.m.replanQ.Observe(proposals[i].latSec * 1e3)
-		if len(o.latSamples) < maxLatencySamples {
-			o.latSamples = append(o.latSamples, proposals[i].latSec)
-		}
-	}
-
-	// Phase D — advance the epoch clock: rotate the ring, fetch the new
-	// horizon snapshot from the ephemeris engine (every other ring frame
-	// is a cache hit), re-bucket the index.
-	o.now += o.cfg.StepSec
-	copy(o.ring, o.ring[1:])
-	o.ring[o.k] = o.eng.SnapshotAt(o.now + float64(o.k)*o.cfg.StepSec)
-	o.idx.Rebuild(o.ring[0])
-
-	rep.Sessions = o.tab.Len()
-	rep.Assigned = o.nAssigned
-	util := 0.0
-	for _, n := range o.nodes {
-		util += n.UtilizationCores()
-	}
-	rep.MeanUtilization = util / float64(len(o.nodes))
-	rep.ISLDegradations = o.epochISL
-	rep.WallSec = time.Since(wall).Seconds()
-
-	o.m.sessions.Set(float64(rep.Sessions))
-	o.m.assigned.Set(float64(rep.Assigned))
-	o.m.downSats.Set(float64(rep.DownSats))
-	o.m.evacPending.Set(float64(o.nEvacPending))
-	o.m.epochs.Inc()
-	o.m.epochSec.Observe(rep.WallSec)
-	return rep, nil
-}
-
-// propose computes a session's ranked candidate list: all satellites
-// visible to the whole group, Sticky-ordered — candidates within the
-// latency band ranked by remaining visibility (the paper's stationarity
-// objective), then the rest by latency for load spill.
-func (o *Orchestrator) propose(s *Session) proposal {
-	t0 := time.Now()
-	snap := o.ring[0]
-	var cands []candidate
-	qStart := time.Now()
-	o.idx.ForEachNear(s.CentroidLL.LatDeg, s.CentroidLL.LonDeg, s.SpreadKm, func(id int, pos geo.Vec3) {
-		if !o.satUp(id) {
-			return // hard-failed satellites take no placements
-		}
-		if rtt, ok := o.groupRTT(s, id, snap); ok {
-			cands = append(cands, candidate{id: id, rtt: rtt})
-		}
-	})
-	o.m.indexQuery.Observe(time.Since(qStart).Seconds())
-	if len(cands) == 0 {
-		return proposal{latSec: time.Since(t0).Seconds()}
-	}
-	minRTT := math.Inf(1)
-	for _, c := range cands {
-		if c.rtt < minRTT {
-			minRTT = c.rtt
-		}
-	}
-	bound := minRTT * (1 + o.cfg.LatencyBand)
-	band := 0
-	for i := range cands {
-		if cands[i].rtt <= bound {
-			cands[band], cands[i] = cands[i], cands[band]
-			band++
-		}
-	}
-	for i := 0; i < band; i++ {
-		cands[i].life = o.lifeEpochs(s, cands[i].id)
-	}
-	sort.Slice(cands[:band], func(i, j int) bool {
-		a, b := cands[i], cands[j]
-		if a.life != b.life {
-			return a.life > b.life
-		}
-		if a.rtt != b.rtt {
-			return a.rtt < b.rtt
-		}
-		return a.id < b.id
-	})
-	rest := cands[band:]
-	sort.Slice(rest, func(i, j int) bool {
-		if rest[i].rtt != rest[j].rtt {
-			return rest[i].rtt < rest[j].rtt
-		}
-		return rest[i].id < rest[j].id
-	})
-	// Admission order: the Sticky pool first, then everything else by
-	// latency. Keeping the full list (not just the pool) is what lets
-	// admission spill under load instead of rejecting.
-	if band > o.cfg.PoolSize {
-		pool := append([]candidate(nil), cands[:o.cfg.PoolSize]...)
-		overflow := cands[o.cfg.PoolSize:band]
-		sort.Slice(overflow, func(i, j int) bool {
-			if overflow[i].rtt != overflow[j].rtt {
-				return overflow[i].rtt < overflow[j].rtt
-			}
-			return overflow[i].id < overflow[j].id
-		})
-		merged := append(pool, mergeByLatency(overflow, rest)...)
-		return proposal{ranked: merged, latSec: time.Since(t0).Seconds()}
-	}
-	return proposal{ranked: cands, latSec: time.Since(t0).Seconds()}
-}
-
-// mergeByLatency merges two latency-sorted candidate slices.
-func mergeByLatency(a, b []candidate) []candidate {
-	out := make([]candidate, 0, len(a)+len(b))
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		if a[i].rtt < b[j].rtt || (a[i].rtt == b[j].rtt && a[i].id <= b[j].id) {
-			out = append(out, a[i])
-			i++
-		} else {
-			out = append(out, b[j])
-			j++
-		}
-	}
-	out = append(out, a[i:]...)
-	out = append(out, b[j:]...)
-	return out
-}
-
 // lifeEpochs returns how many future ring epochs the satellite stays
 // visible to the whole session, capped at the ring length.
 func (o *Orchestrator) lifeEpochs(s *Session, satID int) int {
@@ -833,31 +490,40 @@ func (o *Orchestrator) lifeEpochs(s *Session, satID int) int {
 	return o.k
 }
 
-// transferMs is the one-way state-transfer latency from sat a to b at the
-// current epoch: the cheaper of the shortest ISL path (same-shell pairs,
-// memoised per epoch) and a ground relay through the session's region —
-// the same accounting as meetup.Planner.TransferLatencyMs.
-func (o *Orchestrator) transferMs(a, b int, centroid geo.Vec3) float64 {
-	snap := o.ring[0]
-	relay := units.PropagationDelayMs(snap[a].Distance(centroid) + centroid.Distance(snap[b]))
-	if o.c.Satellites[a].ShellIndex != o.c.Satellites[b].ShellIndex {
-		return relay // the +grid does not link shells
+// parallelFor splits [0,n) into contiguous chunks across the configured
+// workers. Chunked ranges keep writes to per-index slots deterministic.
+func (o *Orchestrator) parallelFor(n int, f func(lo, hi int)) {
+	o.parallelForW(n, func(_, lo, hi int) { f(lo, hi) })
+}
+
+// parallelForW is parallelFor with the worker slot exposed, for phases that
+// keep per-worker scratch. Slot w always owns the w-th contiguous chunk, so
+// which slot computed an item never affects what was computed.
+func (o *Orchestrator) parallelForW(n int, f func(w, lo, hi int)) {
+	workers := o.cfg.Workers
+	if workers > n {
+		workers = n
 	}
-	if f := o.cfg.Faults; f != nil && f.ISLDegraded(a, b, o.now) {
-		o.m.faultISL.Inc()
-		o.epochISL++
-		return relay // flapped path: spill the transfer to the ground relay
-	}
-	key := uint64(a)<<32 | uint64(b)
-	islMs, ok := o.islMemo[key]
-	if !ok {
-		p, err := netgraph.ISLShortest(o.grid, snap, a, b)
-		if err != nil {
-			islMs = math.Inf(1) // degenerate topology: relay wins
-		} else {
-			islMs = p.OneWayMs
+	if workers <= 1 {
+		if n > 0 {
+			f(0, 0, n)
 		}
-		o.islMemo[key] = islMs
+		return
 	}
-	return math.Min(islMs, relay)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	w := 0
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			f(w, lo, hi)
+		}(w, lo, hi)
+		w++
+	}
+	wg.Wait()
 }

@@ -25,6 +25,11 @@ type metricsSet struct {
 	replanQ   *obs.Quantile // fleet_replan_ms — per-session proposal/replan latency
 	transferQ *obs.Quantile // fleet_transfer_ms — hand-off one-way transfer latency
 
+	// Streaming-planner families.
+	streamChunks *obs.Counter // fleet_planner_chunks_total
+	ssspBatched  *obs.Counter // fleet_transfer_sssp_rows_total{mode="batched"}
+	ssspLazy     *obs.Counter // fleet_transfer_sssp_rows_total{mode="lazy"}
+
 	// Fault-injection families (all events are counted even when no
 	// injector is configured — they then stay at zero).
 	faultSatFail  *obs.Counter // fleet_faults_total{kind="sat_fail"}
@@ -55,7 +60,13 @@ func newMetrics(reg *obs.Registry) *metricsSet {
 		"Injected fault events consumed by the orchestrator, by kind.", "kind")
 	evac := reg.CounterVec("fleet_evacuations_total",
 		"Sessions leaving a failed satellite: ok = re-placed, deferred = awaiting retry or capacity.", "result")
+	ssspRows := reg.CounterVec("fleet_transfer_sssp_rows_total",
+		"Multi-source SSSP rows computed for hand-off transfer pricing, by mode.", "mode")
 	return &metricsSet{
+		streamChunks: reg.Counter("fleet_planner_chunks_total",
+			"Streaming chunks the epoch planner proposed and admitted."),
+		ssspBatched:  ssspRows.With("batched"),
+		ssspLazy:     ssspRows.With("lazy"),
 		faultSatFail: faults.With("sat_fail"),
 		faultSatRec:  faults.With("sat_recover"),
 		faultMig:     faults.With("migration_fail"),

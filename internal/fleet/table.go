@@ -106,7 +106,12 @@ type tableShard struct {
 
 // NewTable creates a table with at least n shards (rounded up to a power
 // of two; n <= 0 means DefaultShards).
-func NewTable(n int) *Table {
+func NewTable(n int) *Table { return NewTableSized(n, 0) }
+
+// NewTableSized is NewTable with a population hint: each shard map is
+// pre-sized for expected/shards sessions, so million-session ingest does
+// not pay for incremental map growth. The hint is not a cap.
+func NewTableSized(n, expected int) *Table {
 	if n <= 0 {
 		n = DefaultShards
 	}
@@ -119,8 +124,12 @@ func NewTable(n int) *Table {
 		size >>= 1
 		t.shift--
 	}
+	perShard := 0
+	if expected > 0 {
+		perShard = expected / len(t.shards)
+	}
 	for i := range t.shards {
-		t.shards[i].m = make(map[uint64]*Session)
+		t.shards[i].m = make(map[uint64]*Session, perShard)
 	}
 	return t
 }

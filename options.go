@@ -128,6 +128,62 @@ func WithRegistry(reg *obs.Registry) Option {
 	})
 }
 
+// FleetOption configures one orchestrator built by Service.NewFleet. It
+// refines the service-wide fleet settings (WithFleet, WithStepSec,
+// WithWorkers, ...) for that orchestrator only:
+//
+//	fl, err := svc.NewFleet(
+//	        inorbit.WithFleetSessions(1_000_000),
+//	        inorbit.WithFleetEpoch(60),
+//	        inorbit.WithFleetShards(8))
+//
+// FleetOptions apply in order; later options win on conflict.
+type FleetOption interface {
+	applyFleet(*fleet.Config)
+}
+
+// fleetFuncOption adapts a closure to the FleetOption interface.
+type fleetFuncOption func(*fleet.Config)
+
+func (f fleetFuncOption) applyFleet(c *fleet.Config) { f(c) }
+
+// WithFleetSessions sizes the orchestrator for the intended session
+// population: the session table and the planner's per-epoch scratch are
+// pre-allocated for n sessions. It is a hint — the fleet grows past it
+// without error — but the right hint avoids incremental growth stalls on
+// million-session ingest.
+func WithFleetSessions(n int) FleetOption {
+	return fleetFuncOption(func(c *fleet.Config) { c.ExpectedSessions = n })
+}
+
+// WithFleetEpoch sets this orchestrator's epoch length in simulated
+// seconds (default 60, or the service-wide WithStepSec value).
+func WithFleetEpoch(stepSec float64) FleetOption {
+	return fleetFuncOption(func(c *fleet.Config) { c.StepSec = stepSec })
+}
+
+// WithFleetLookahead sets the visibility lookahead horizon in simulated
+// seconds used to rank candidates by remaining visibility (default 1200,
+// the meetup Sticky horizon). Must be at least the epoch length.
+func WithFleetLookahead(sec float64) FleetOption {
+	return fleetFuncOption(func(c *fleet.Config) { c.LookaheadSec = sec })
+}
+
+// WithFleetCapacity sets the per-satellite compute payload for this
+// orchestrator (default: the paper's HPE DL325 reference, or the
+// service-wide WithServer value).
+func WithFleetCapacity(spec ServerSpec) FleetOption {
+	return fleetFuncOption(func(c *fleet.Config) { c.Server = spec })
+}
+
+// WithFleetShards sets how many footprint-region queues the epoch planner
+// splits its work across (default: the worker count). Shard count never
+// changes planner decisions — output is byte-identical for every value —
+// it only bounds parallelism and per-region scratch.
+func WithFleetShards(n int) FleetOption {
+	return fleetFuncOption(func(c *fleet.Config) { c.PlannerShards = n })
+}
+
 // InterpMode selects the Ephemeris.Interpolated scheme.
 type InterpMode = ephem.Mode
 
