@@ -123,13 +123,22 @@ func TestBenchTrajectory(t *testing.T) {
 
 func TestBenchReportCommittedFormat(t *testing.T) {
 	// The repo's committed BENCH files must stay readable by the tool.
-	for _, p := range []string{"../../BENCH_obs.json", "../../BENCH_ephem.json", "../../BENCH_netgraph.json"} {
+	for _, p := range []string{"../../BENCH_obs.json", "../../BENCH_ephem.json",
+		"../../BENCH_netgraph.json", "../../BENCH_serve.json"} {
 		if _, err := os.Stat(p); err != nil {
 			t.Skipf("%s not present", p)
 		}
 		var out bytes.Buffer
 		if err := benchReport(&out, []string{p}); err != nil {
 			t.Errorf("benchReport(%s): %v", p, err)
+			continue
+		}
+		if strings.HasSuffix(p, "BENCH_serve.json") {
+			// The sharded serve engine's headline metric must surface in
+			// the perf trajectory, not just in the raw JSON.
+			if got := out.String(); !strings.Contains(got, "serve-parallel-speedup-x") {
+				t.Errorf("serve trajectory missing serve-parallel-speedup-x:\n%s", got)
+			}
 		}
 	}
 }

@@ -14,11 +14,12 @@ import (
 
 // Event is a scheduled callback.
 type Event struct {
-	time float64
-	seq  uint64 // tie-break: schedule order, keeping runs deterministic
-	fn   func()
-	idx  int
-	dead bool
+	time   float64
+	seq    uint64 // tie-break: schedule order, keeping runs deterministic
+	fn     func()
+	idx    int
+	dead   bool
+	pooled bool // recycled onto the free list after firing (Schedule path)
 }
 
 type eventHeap []*Event
@@ -54,6 +55,7 @@ type Sim struct {
 	now    float64
 	seq    uint64
 	events eventHeap
+	free   []*Event // recycled pooled events (Schedule path)
 	ran    int
 	obs    *simObs // nil unless Instrument was called
 }
@@ -129,6 +131,42 @@ func (s *Sim) After(delay float64, fn func()) (*Event, error) {
 	return s.At(s.now+delay, fn)
 }
 
+// Schedule schedules fn at an absolute time like At but returns no handle:
+// the event record comes from an internal free list and is recycled after it
+// fires, so it cannot be cancelled. High-volume callers that never cancel
+// (request chains, refresh ticks) use this path to stop churning the heap
+// allocator with one Event per scheduled callback.
+func (s *Sim) Schedule(t float64, fn func()) error {
+	if t < s.now {
+		return fmt.Errorf("netsim: cannot schedule at %v before now %v", t, s.now)
+	}
+	if fn == nil {
+		return fmt.Errorf("netsim: nil event function")
+	}
+	var e *Event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free = s.free[:n-1]
+		*e = Event{time: t, seq: s.seq, fn: fn, pooled: true}
+	} else {
+		e = &Event{time: t, seq: s.seq, fn: fn, pooled: true}
+	}
+	s.seq++
+	heap.Push(&s.events, e)
+	if s.obs != nil {
+		s.obs.queueDepth.Set(float64(len(s.events)))
+	}
+	return nil
+}
+
+// ScheduleAfter schedules fn delay seconds from now on the pooled path.
+func (s *Sim) ScheduleAfter(delay float64, fn func()) error {
+	if delay < 0 {
+		return fmt.Errorf("netsim: negative delay %v", delay)
+	}
+	return s.Schedule(s.now+delay, fn)
+}
+
 // Cancel removes a pending event; cancelling an already-fired or already-
 // cancelled event is a no-op.
 func (s *Sim) Cancel(e *Event) {
@@ -163,6 +201,12 @@ func (s *Sim) Run(horizon float64) float64 {
 			s.obs.eventsRun.Inc()
 		}
 		next.fn()
+		if next.pooled {
+			// Recycle only after fn returns: fn may schedule more events, and
+			// those must not reuse this record while it is still live.
+			next.fn = nil
+			s.free = append(s.free, next)
+		}
 	}
 	if s.now < horizon && !math.IsInf(horizon, 1) {
 		s.now = horizon

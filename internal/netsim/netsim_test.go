@@ -282,6 +282,74 @@ func TestUninstrumentedSimUnaffected(t *testing.T) {
 	}
 }
 
+func TestSchedulePooledOrdering(t *testing.T) {
+	// Pooled and handle-returning events share one (time, seq) order.
+	s := New()
+	var order []int
+	if err := s.Schedule(2, func() { order = append(order, 2) }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.At(1, func() { order = append(order, 1) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Schedule(1, func() { order = append(order, 3) }); err != nil {
+		t.Fatal(err)
+	}
+	s.RunAll()
+	want := []int{1, 3, 2}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSchedulePooledRecycles(t *testing.T) {
+	// A self-scheduling chain on the pooled path should settle on a handful
+	// of recycled records rather than one allocation per event.
+	s := New()
+	hops := 0
+	var hop func()
+	hop = func() {
+		hops++
+		if s.Now() < 1000 {
+			if err := s.ScheduleAfter(1, hop); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := s.Schedule(0, hop); err != nil {
+		t.Fatal(err)
+	}
+	s.RunAll()
+	if hops != 1001 {
+		t.Fatalf("hops = %d, want 1001", hops)
+	}
+	// The chain keeps one event in flight (each hop reuses its predecessor's
+	// record), so the pool settles at two records: the steady-state one plus
+	// the final hop's, recycled with nothing left to schedule.
+	if len(s.free) != 2 {
+		t.Fatalf("free list holds %d records, want 2", len(s.free))
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	s := New()
+	if err := s.Schedule(5, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	s.RunAll()
+	if err := s.Schedule(1, func() {}); err == nil {
+		t.Fatal("past pooled scheduling accepted")
+	}
+	if err := s.ScheduleAfter(-1, func() {}); err == nil {
+		t.Fatal("negative pooled delay accepted")
+	}
+	if err := s.Schedule(6, nil); err == nil {
+		t.Fatal("nil pooled fn accepted")
+	}
+}
+
 func TestResourceInterrupt(t *testing.T) {
 	s := New()
 	r, err := NewResource(s, "isl", 10)

@@ -36,6 +36,16 @@ type Policy interface {
 	Pick(nowSec float64, prev int, cands []Candidate) int
 }
 
+// sliceLocalPolicy marks built-in policies whose Pick is a pure function of
+// (prev, cands): it reads neither nowSec nor the FreeAtSec/Queued load
+// signals, and re-picks its own previous choice (Pick(Pick(prev, cands),
+// cands) selects the same satellite). Those properties make the pick
+// constant per site within a refresh slice, which is what lets the sharded
+// engine resolve routing once per (site, slice) and fan the simulation out
+// across satellites. The marker is deliberately unexported: external
+// policies cannot claim it, so they always get the order-exact serial loop.
+type sliceLocalPolicy interface{ sliceLocal() }
+
 // Nearest always routes to the lowest-propagation visible satellite — the
 // §3.1 edge-computing baseline: minimal propagation, but one server absorbs
 // a whole site's load.
@@ -44,6 +54,8 @@ func Nearest() Policy { return nearest{} }
 type nearest struct{}
 
 func (nearest) Name() string { return "nearest" }
+
+func (nearest) sliceLocal() {}
 
 func (nearest) Pick(nowSec float64, prev int, cands []Candidate) int {
 	idx, best := -1, math.Inf(1)
@@ -99,6 +111,8 @@ func Sticky(band float64) Policy {
 type sticky struct{ band float64 }
 
 func (sticky) Name() string { return "sticky" }
+
+func (sticky) sliceLocal() {}
 
 func (s sticky) Pick(nowSec float64, prev int, cands []Candidate) int {
 	minMs := math.Inf(1)

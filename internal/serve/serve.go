@@ -3,26 +3,24 @@
 // sites emit requests (diurnal Poisson arrivals, heavy-tailed service
 // times); a pluggable routing policy picks a visible satellite for each
 // request; per-satellite admission control bounds the queue and sheds the
-// rest with typed reasons. It runs on the netsim kernel over the frozen
-// netgraph visibility snapshots, shares the ephemeris engine with the fleet
-// orchestrator, and reports into the obs registry / flight recorder.
+// rest with typed reasons. The engine shards the event simulation across
+// workers at refresh-aligned time slices (see shard.go) while staying
+// byte-identical to the serial reference for every seed; it runs over the
+// frozen netgraph visibility snapshots, shares the ephemeris engine with
+// the fleet orchestrator, and reports into the obs registry / flight
+// recorder.
 package serve
 
 import (
+	"errors"
 	"fmt"
-	"math"
 	"sort"
 
 	"repro/internal/compute"
-	"repro/internal/constellation"
 	"repro/internal/ephem"
 	"repro/internal/faults"
-	"repro/internal/geo"
-	"repro/internal/netgraph"
-	"repro/internal/netsim"
 	"repro/internal/obs"
 	"repro/internal/stats"
-	"repro/internal/units"
 )
 
 // ShedReason classifies why admission rejected a request.
@@ -42,6 +40,23 @@ const (
 // ShedReasons lists the reasons in report order.
 var ShedReasons = []ShedReason{ShedNoCoverage, ShedSatDown, ShedQueueFull, ShedRefused}
 
+// shedIdx maps a reason to its slot in the engine's fixed-size counters.
+func shedIdx(r ShedReason) int {
+	for i, v := range ShedReasons {
+		if v == r {
+			return i
+		}
+	}
+	return -1
+}
+
+// ErrNonMonotonic is returned by Engine.Feed when a request's arrival time
+// precedes an already-fed request or the engine's current simulation time.
+// The sharded engine assigns per-slice event order from feed order, so an
+// out-of-order feed would silently corrupt the (time, seq) contract the
+// determinism guarantees rest on; it is rejected instead.
+var ErrNonMonotonic = errors.New("non-monotonic request feed")
+
 // Config configures a serving engine for one policy.
 type Config struct {
 	// Sites are the request-originating ground locations (required).
@@ -55,12 +70,21 @@ type Config struct {
 	// at capacity further requests are shed (default 64, -1 = unbounded).
 	QueueCap int
 	// RefreshSec is the cadence at which visibility snapshots and fault
-	// state are refreshed (default 60, matching the fleet epoch).
+	// state are refreshed (default 60, matching the fleet epoch). It is
+	// also the engine's parallel slice width: workers synchronize at
+	// every refresh boundary.
 	RefreshSec float64
 	// LookaheadEpochs is how many future refresh intervals the engine
 	// scans to estimate candidate visibility lifetime for affinity
 	// policies (default 3).
 	LookaheadEpochs int
+	// Workers is the event-simulation fan-out per slice: 0 picks
+	// min(GOMAXPROCS, NumCPU) with a serial fallback below a work
+	// threshold, 1 forces the serial loop, >1 forces that shard count.
+	// Every worker count produces byte-identical results; only policies
+	// whose picks are slice-local (nearest, sticky) fan out — globally
+	// load-coupled policies (least-loaded) always run the serial merge.
+	Workers int
 	// Registry, when set, receives the serve_* metric families.
 	Registry *obs.Registry
 	// Faults, when set, marks failed satellites unroutable at each
@@ -122,180 +146,18 @@ func (r Result) ShedTotal() int {
 	return n
 }
 
-// Engine simulates request serving for one routing policy. Drive it with
-// Feed (workload) and RunUntil (time); read Result anytime. All behaviour
-// is deterministic in (constellation, config, fed requests).
-type Engine struct {
-	cfg    Config
-	sim    *netsim.Sim
-	net    *netgraph.Network
-	policy Policy
-
-	coresPerSat int
-	queueCap    int // -1 = unbounded
-
-	// ring holds snapshots at now, now+refresh, ..., now+lookahead*refresh;
-	// rotated one slot per refresh so steady state freezes one new graph.
-	ring []*netgraph.Snapshot
-
-	cands    [][]Candidate // per site, rebuilt each refresh
-	downOnly []bool        // per site: visible sats exist but all are down
-	prevSat  []int         // per site: satellite that served the last request
-
-	cores       [][]float64 // per sat: busy-until per core (lazy)
-	outstanding []int       // per sat: admitted, not completed
-	busySec     []float64   // per sat: accumulated service seconds
-
-	offered  int
-	served   int
-	inflight int
-	shed     map[ShedReason]int
-	latency  *stats.CDF
-	nQueued  int
-	peakQ    int
-
-	m         *metricsSet
-	reqC      *obs.Counter
-	servedC   *obs.Counter
-	shedC     map[ShedReason]*obs.Counter
-	latQ      *obs.Quantile
-	queueG    *obs.Gauge
-	inflightG *obs.Gauge
-}
-
-// NewEngine builds a serving engine over the constellation. The refresh
-// chain starts at t=0; call Feed then RunUntil.
-func NewEngine(c *constellation.Constellation, cfg Config) (*Engine, error) {
-	cfg = cfg.withDefaults()
-	if c == nil {
-		return nil, fmt.Errorf("serve: nil constellation")
-	}
-	if len(cfg.Sites) == 0 {
-		return nil, fmt.Errorf("serve: no sites")
-	}
-	if cfg.Policy == nil {
-		return nil, fmt.Errorf("serve: nil policy")
-	}
-	if err := cfg.Server.Validate(); err != nil {
-		return nil, fmt.Errorf("serve: %w", err)
-	}
-	if cfg.Faults != nil && cfg.Faults.N() != c.Size() {
-		return nil, fmt.Errorf("serve: fault injector sized for %d sats, constellation has %d",
-			cfg.Faults.N(), c.Size())
-	}
-	e := &Engine{
-		cfg:         cfg,
-		sim:         netsim.New(),
-		policy:      cfg.Policy,
-		coresPerSat: int(math.Max(1, math.Floor(cfg.Server.EffectiveCores()))),
-		queueCap:    cfg.QueueCap,
-		cands:       make([][]Candidate, len(cfg.Sites)),
-		downOnly:    make([]bool, len(cfg.Sites)),
-		prevSat:     make([]int, len(cfg.Sites)),
-		cores:       make([][]float64, c.Size()),
-		outstanding: make([]int, c.Size()),
-		busySec:     make([]float64, c.Size()),
-		shed:        make(map[ShedReason]int),
-		latency:     stats.NewCDF(),
-	}
-	for i := range e.prevSat {
-		e.prevSat[i] = -1
-	}
-	gls := make([]geo.LatLon, len(cfg.Sites))
-	for i, s := range cfg.Sites {
-		gls[i] = s.Loc
-	}
-	e.net = netgraph.New(c, gls)
-	if cfg.Ephem != nil {
-		e.net.UseEphemeris(cfg.Ephem)
-	}
-	if cfg.Registry != nil {
-		e.m = newMetricsSet(cfg.Registry)
-		name := cfg.Policy.Name()
-		e.reqC = e.m.requests.With(name)
-		e.servedC = e.m.served.With(name)
-		e.shedC = make(map[ShedReason]*obs.Counter, len(ShedReasons))
-		for _, r := range ShedReasons {
-			e.shedC[r] = e.m.shed.With(name, string(r))
-		}
-		e.latQ = e.m.latency.With(name)
-		e.queueG = e.m.queue.With(name)
-		e.inflightG = e.m.inflight.With(name)
-	}
-	e.refresh(0)
-	e.scheduleRefresh(cfg.RefreshSec)
-	return e, nil
-}
-
-func (e *Engine) scheduleRefresh(t float64) {
-	// The chain is infinite by design; Run stops at its horizon, so the
-	// one pending refresh beyond it is harmless.
-	if _, err := e.sim.At(t, func() {
-		e.refresh(t)
-		e.scheduleRefresh(t + e.cfg.RefreshSec)
-	}); err != nil {
-		panic(fmt.Sprintf("serve: refresh schedule: %v", err))
-	}
-}
-
-// refresh rebuilds fault state, the snapshot ring, and per-site candidate
-// lists at time t.
-func (e *Engine) refresh(t float64) {
-	if e.cfg.Faults != nil {
-		e.cfg.Faults.Advance(t)
-	}
-	step := e.cfg.RefreshSec
-	depth := e.cfg.LookaheadEpochs + 1
-	// Ring snapshots chain onto the previously built one, so each refresh
-	// freezes as a visibility delta instead of a full rescan (the times are
-	// strictly increasing across refreshes by construction).
-	if len(e.ring) == 0 {
-		e.ring = make([]*netgraph.Snapshot, 0, depth)
-		var prev *netgraph.Snapshot
-		for k := 0; k < depth; k++ {
-			s := e.net.AtAfter(prev, t+float64(k)*step)
-			e.ring = append(e.ring, s)
-			prev = s
-		}
-	} else {
-		copy(e.ring, e.ring[1:])
-		e.ring[depth-1] = e.net.AtAfter(e.ring[depth-2], t+float64(depth-1)*step)
-	}
-	now := e.ring[0]
-	for si := range e.cfg.Sites {
-		vis := now.VisibleSats(si)
-		futures := make([][]int, len(e.ring)-1)
-		for k := 1; k < len(e.ring); k++ {
-			futures[k-1] = e.ring[k].VisibleSats(si)
-		}
-		gpos := now.Position(e.net.GroundNode(si))
-		cands := e.cands[si][:0]
-		for _, sat := range vis {
-			if e.cfg.Faults != nil && !e.cfg.Faults.SatUp(sat) {
-				continue
-			}
-			life := 0.0
-			for _, fut := range futures {
-				if !containsSorted(fut, sat) {
-					break
-				}
-				life += step
-			}
-			cands = append(cands, Candidate{
-				SatID:    sat,
-				OneWayMs: units.PropagationDelayMs(gpos.Distance(now.Position(e.net.SatNode(sat)))),
-				LifeSec:  life,
-			})
-		}
-		sort.Slice(cands, func(i, j int) bool {
-			if cands[i].OneWayMs != cands[j].OneWayMs {
-				return cands[i].OneWayMs < cands[j].OneWayMs
-			}
-			return cands[i].SatID < cands[j].SatID
-		})
-		e.cands[si] = cands
-		e.downOnly[si] = len(cands) == 0 && len(vis) > 0
-	}
+// EngineStats reports how the sharded engine executed a run: the widest
+// slice fan-out it used and how many slices went parallel vs serial. Purely
+// informational — results are identical either way.
+type EngineStats struct {
+	// Workers is the largest shard count any slice fanned out to (1 when
+	// every slice ran the serial loop).
+	Workers int
+	// ParallelSlices counts slices simulated across >1 worker.
+	ParallelSlices int
+	// SerialSlices counts slices that ran the serial loop (forced, below
+	// the work threshold, or a globally load-coupled policy).
+	SerialSlices int
 }
 
 // containsSorted reports whether sorted ascending xs contains v.
@@ -304,185 +166,23 @@ func containsSorted(xs []int, v int) bool {
 	return i < len(xs) && xs[i] == v
 }
 
-// Feed schedules requests into the simulation. Requests must not predate
-// the current simulation time; multiple Feeds accumulate.
-func (e *Engine) Feed(reqs []Request) error {
-	for i := range reqs {
-		r := reqs[i]
-		if err := r.Validate(); err != nil {
-			return fmt.Errorf("serve: request %d: %w", i, err)
-		}
-		if r.Site >= len(e.cfg.Sites) {
-			return fmt.Errorf("serve: request %d: site %d out of range (%d sites)",
-				i, r.Site, len(e.cfg.Sites))
-		}
-		req := r
-		if _, err := e.sim.At(r.TSec, func() { e.arrive(req) }); err != nil {
-			return fmt.Errorf("serve: request %d: %w", i, err)
-		}
+// validate rejects configurations both engine implementations refuse.
+func validateConfig(size int, cfg Config) error {
+	if len(cfg.Sites) == 0 {
+		return fmt.Errorf("serve: no sites")
+	}
+	if cfg.Policy == nil {
+		return fmt.Errorf("serve: nil policy")
+	}
+	if err := cfg.Server.Validate(); err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	if cfg.Workers < 0 {
+		return fmt.Errorf("serve: workers %d must be non-negative", cfg.Workers)
+	}
+	if cfg.Faults != nil && cfg.Faults.N() != size {
+		return fmt.Errorf("serve: fault injector sized for %d sats, constellation has %d",
+			cfg.Faults.N(), size)
 	}
 	return nil
-}
-
-// RunUntil advances the simulation to tSec (inclusive of events at tSec).
-func (e *Engine) RunUntil(tSec float64) {
-	e.sim.Run(tSec)
-}
-
-// Now returns the engine's simulation time.
-func (e *Engine) Now() float64 { return e.sim.Now() }
-
-func (e *Engine) arrive(r Request) {
-	now := e.sim.Now()
-	e.offered++
-	if e.reqC != nil {
-		e.reqC.Inc()
-	}
-	cands := e.cands[r.Site]
-	if len(cands) == 0 {
-		if e.downOnly[r.Site] {
-			e.reject(ShedSatDown)
-		} else {
-			e.reject(ShedNoCoverage)
-		}
-		return
-	}
-	for i := range cands {
-		cands[i].FreeAtSec = e.earliestFree(cands[i].SatID)
-		cands[i].Queued = e.outstanding[cands[i].SatID]
-	}
-	idx := e.policy.Pick(now, e.prevSat[r.Site], cands)
-	if idx < 0 || idx >= len(cands) {
-		e.reject(ShedRefused)
-		return
-	}
-	sat := cands[idx].SatID
-	if e.queueCap >= 0 && e.outstanding[sat] >= e.coresPerSat+e.queueCap {
-		e.reject(ShedQueueFull)
-		return
-	}
-	e.prevSat[r.Site] = sat
-	e.outstanding[sat]++
-	e.inflight++
-	if e.inflightG != nil {
-		e.inflightG.Set(float64(e.inflight))
-	}
-	oneWaySec := cands[idx].OneWayMs / 1000
-	svcSec := r.ServiceMs / 1000
-	arrival := now
-	// Uplink, then a core: queue depth covers the wait between reaching
-	// the satellite and service start.
-	e.mustAfter(oneWaySec, func() {
-		up := e.sim.Now()
-		ci := e.pickCore(sat)
-		start := math.Max(up, e.cores[sat][ci])
-		e.cores[sat][ci] = start + svcSec
-		e.busySec[sat] += svcSec
-		if start > up {
-			e.queueDelta(+1)
-			e.mustAt(start, func() { e.queueDelta(-1) })
-		}
-		e.mustAt(start+svcSec, func() {
-			e.outstanding[sat]--
-			e.inflight--
-			e.served++
-			respMs := (e.sim.Now() - arrival + oneWaySec) * 1000
-			e.latency.Add(respMs)
-			if e.servedC != nil {
-				e.servedC.Inc()
-				e.latQ.Observe(respMs)
-				e.inflightG.Set(float64(e.inflight))
-			}
-		})
-	})
-}
-
-func (e *Engine) queueDelta(d int) {
-	e.nQueued += d
-	if e.nQueued > e.peakQ {
-		e.peakQ = e.nQueued
-	}
-	if e.queueG != nil {
-		e.queueG.Set(float64(e.nQueued))
-	}
-}
-
-func (e *Engine) reject(reason ShedReason) {
-	e.shed[reason]++
-	if e.shedC != nil {
-		e.shedC[reason].Inc()
-	}
-}
-
-// pickCore returns the satellite's earliest-free core index (lowest index
-// on ties, keeping runs deterministic).
-func (e *Engine) pickCore(sat int) int {
-	if e.cores[sat] == nil {
-		e.cores[sat] = make([]float64, e.coresPerSat)
-	}
-	ci, best := 0, e.cores[sat][0]
-	for i := 1; i < len(e.cores[sat]); i++ {
-		if e.cores[sat][i] < best {
-			best = e.cores[sat][i]
-			ci = i
-		}
-	}
-	return ci
-}
-
-func (e *Engine) earliestFree(sat int) float64 {
-	if e.cores[sat] == nil {
-		return 0
-	}
-	best := e.cores[sat][0]
-	for _, b := range e.cores[sat][1:] {
-		if b < best {
-			best = b
-		}
-	}
-	return best
-}
-
-func (e *Engine) mustAfter(d float64, fn func()) {
-	if _, err := e.sim.After(d, fn); err != nil {
-		panic(fmt.Sprintf("serve: schedule: %v", err))
-	}
-}
-
-func (e *Engine) mustAt(t float64, fn func()) {
-	if _, err := e.sim.At(t, fn); err != nil {
-		panic(fmt.Sprintf("serve: schedule: %v", err))
-	}
-}
-
-// Result snapshots the engine's accounting at the current simulation time.
-func (e *Engine) Result() Result {
-	shed := make(map[ShedReason]int, len(e.shed))
-	for k, v := range e.shed {
-		shed[k] = v
-	}
-	util := make([]float64, len(e.busySec))
-	if now := e.sim.Now(); now > 0 {
-		denom := now * float64(e.coresPerSat)
-		for i, b := range e.busySec {
-			util[i] = b / denom
-		}
-	}
-	used := 0
-	for _, b := range e.busySec {
-		if b > 0 {
-			used++
-		}
-	}
-	return Result{
-		Policy:      e.policy.Name(),
-		Offered:     e.offered,
-		Served:      e.served,
-		InFlight:    e.inflight,
-		Shed:        shed,
-		LatencyMs:   e.latency,
-		Utilization: util,
-		SatsUsed:    used,
-		PeakQueued:  e.peakQ,
-	}
 }

@@ -22,8 +22,10 @@ func WriteTrace(w io.Writer, reqs []Request) error {
 }
 
 // ReadTrace parses a JSONL request trace written by WriteTrace (blank lines
-// are skipped). It validates each record; arrival ordering is not required
-// here — the engine sorts on Feed.
+// are skipped). It validates each record. Arrival times must be
+// non-decreasing to be accepted by Engine.Feed, which rejects out-of-order
+// feeds with ErrNonMonotonic; traces written by WriteTrace from Generate
+// are already time-sorted.
 func ReadTrace(r io.Reader) ([]Request, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
